@@ -1,0 +1,36 @@
+"""§IV.F ablation: runtime and memory impact of copy-on-write block storage.
+
+Runs the level-by-level incremental protocol with COW enabled and disabled.
+The timing is reported by pytest-benchmark; the peak logical memory of each
+configuration is attached as ``extra_info`` so the 20-50% savings claim of
+§IV.F can be checked from the benchmark JSON.
+"""
+
+import pytest
+
+from repro.bench.workloads import levelwise_incremental
+
+from conftest import make_factory
+
+CIRCUITS = [("qft", 10), ("adder", None), ("ising", None)]
+
+
+def _id(entry):
+    name, qubits = entry
+    return name if qubits is None else f"{name}[{qubits}q]"
+
+
+@pytest.mark.parametrize("entry", CIRCUITS, ids=_id)
+@pytest.mark.parametrize("copy_on_write", [True, False], ids=["cow", "dense"])
+def test_cow_ablation(benchmark, levels_cache, entry, copy_on_write):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory("qTask", num_workers=1, copy_on_write=copy_on_write)
+
+    def run():
+        return levelwise_incremental(n, levels, factory, circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["copy_on_write"] = copy_on_write
+    benchmark.extra_info["peak_memory_bytes"] = result.peak_allocated_bytes

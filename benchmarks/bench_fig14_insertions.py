@@ -1,0 +1,30 @@
+"""Figure 14: incremental simulation under random gate insertions.
+
+Each measured run starts from an empty circuit (nets pre-created), inserts a
+few random levels per iteration and updates, until the circuit is complete --
+the cumulative-runtime curve of Fig. 14.  qTask's curve should grow much more
+slowly than the full-re-simulation baseline's.
+"""
+
+import pytest
+
+from repro.bench.workloads import insertion_sweep
+
+from conftest import FIGURE_CIRCUITS, HEAD_TO_HEAD, circuit_id, make_factory
+
+
+@pytest.mark.parametrize("entry", FIGURE_CIRCUITS, ids=circuit_id)
+@pytest.mark.parametrize("simulator", HEAD_TO_HEAD)
+def test_fig14_random_insertions(benchmark, levels_cache, entry, simulator):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory(simulator, num_workers=1)
+
+    def run():
+        return insertion_sweep(n, levels, factory, levels_per_iteration=2, seed=1,
+                               circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["iterations"] = result.num_updates
+    benchmark.extra_info["final_cumulative_ms"] = result.total_ms

@@ -1,0 +1,31 @@
+"""Figure 15: incremental simulation under random gate removals.
+
+Each measured run starts from the complete circuit and removes a few random
+levels per iteration until the circuit is empty, updating after every batch
+(iteration 0 is the full simulation, as in the paper).
+"""
+
+import pytest
+
+from repro.bench.workloads import removal_sweep
+
+from conftest import FIGURE_CIRCUITS, HEAD_TO_HEAD, circuit_id, make_factory
+
+
+@pytest.mark.parametrize("entry", FIGURE_CIRCUITS, ids=circuit_id)
+@pytest.mark.parametrize("simulator", HEAD_TO_HEAD)
+def test_fig15_random_removals(benchmark, levels_cache, entry, simulator):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory(simulator, num_workers=1)
+
+    def run():
+        return removal_sweep(n, levels, factory, levels_per_iteration=2, seed=2,
+                             circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["iterations"] = result.num_updates
+    benchmark.extra_info["mean_iteration_ms"] = (
+        1e3 * result.total_seconds / max(1, result.num_updates)
+    )

@@ -1,0 +1,33 @@
+"""Figure 16: incremental simulation under mixed insertions and removals.
+
+Each iteration removes the gates of a random populated level and re-inserts a
+previously removed level, then calls update -- 25 iterations per run (the
+paper uses 50 on larger hardware).
+"""
+
+import pytest
+
+from repro.bench.workloads import mixed_sweep
+
+from conftest import FIGURE_CIRCUITS, HEAD_TO_HEAD, circuit_id, make_factory
+
+ITERATIONS = 25
+
+
+@pytest.mark.parametrize("entry", FIGURE_CIRCUITS, ids=circuit_id)
+@pytest.mark.parametrize("simulator", HEAD_TO_HEAD)
+def test_fig16_mixed_modifiers(benchmark, levels_cache, entry, simulator):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory(simulator, num_workers=1)
+
+    def run():
+        return mixed_sweep(n, levels, factory, iterations=ITERATIONS, seed=3,
+                           circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["iterations"] = ITERATIONS
+    benchmark.extra_info["mean_iteration_ms"] = (
+        1e3 * result.total_seconds / ITERATIONS
+    )

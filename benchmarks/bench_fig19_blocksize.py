@@ -1,0 +1,48 @@
+"""Figure 19: impact of the block size on qTask's runtime.
+
+Sweeps B = 2^k for both full simulation and an incremental mixed workload on
+the qft circuit, reproducing the U-shaped curves of Fig. 19 (too-small blocks
+pay partitioning/scheduling overhead, too-large blocks lose task parallelism
+and incrementality granularity).
+"""
+
+import pytest
+
+from repro.bench.workloads import full_simulation, mixed_sweep
+
+from conftest import make_factory
+
+LOG_BLOCK_SIZES = [2, 4, 6, 8, 10]
+CIRCUIT = ("qft", 10)
+ITERATIONS = 10
+
+
+@pytest.fixture(scope="module")
+def qft_levels(levels_cache):
+    return levels_cache(*CIRCUIT)
+
+
+@pytest.mark.parametrize("log_block", LOG_BLOCK_SIZES)
+def test_fig19_full_simulation_vs_block_size(benchmark, qft_levels, log_block):
+    n, levels = qft_levels
+    factory = make_factory("qTask", num_workers=1, block_size=1 << log_block)
+
+    def run():
+        return full_simulation(n, levels, factory, circuit_name="qft")
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["log2_block_size"] = log_block
+
+
+@pytest.mark.parametrize("log_block", LOG_BLOCK_SIZES)
+def test_fig19_incremental_vs_block_size(benchmark, qft_levels, log_block):
+    n, levels = qft_levels
+    factory = make_factory("qTask", num_workers=1, block_size=1 << log_block)
+
+    def run():
+        return mixed_sweep(n, levels, factory, iterations=ITERATIONS, seed=5,
+                           circuit_name="qft")
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["log2_block_size"] = log_block
+    benchmark.extra_info["iterations"] = ITERATIONS

@@ -1,0 +1,28 @@
+"""Table III (full-simulation columns): one simulation call per circuit.
+
+For each benchmark circuit and each simulator, measures the paper's *full*
+protocol: construct the entire circuit, then issue a single ``update_state``.
+"""
+
+import pytest
+
+from repro.bench.workloads import full_simulation
+
+from conftest import BENCH_CIRCUITS, SIMULATORS, circuit_id, make_factory
+
+
+@pytest.mark.parametrize("entry", BENCH_CIRCUITS, ids=circuit_id)
+@pytest.mark.parametrize("simulator", SIMULATORS)
+def test_table3_full(benchmark, levels_cache, entry, simulator):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory(simulator, num_workers=1)
+
+    def run():
+        return full_simulation(n, levels, factory, circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["qubits"] = n
+    benchmark.extra_info["gates"] = sum(len(l) for l in levels)
+    benchmark.extra_info["peak_memory_bytes"] = result.peak_allocated_bytes

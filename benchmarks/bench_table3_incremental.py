@@ -1,0 +1,30 @@
+"""Table III (incremental columns): level-by-level construction + updates.
+
+The paper's incremental protocol (§IV.B): starting from an empty circuit,
+insert one net at a time and call ``update_state`` after each insertion --
+the number of simulation calls equals the circuit depth.  qTask updates only
+the affected partitions; the baselines replay the whole circuit every time.
+"""
+
+import pytest
+
+from repro.bench.workloads import levelwise_incremental
+
+from conftest import BENCH_CIRCUITS, SIMULATORS, circuit_id, make_factory
+
+
+@pytest.mark.parametrize("entry", BENCH_CIRCUITS, ids=circuit_id)
+@pytest.mark.parametrize("simulator", SIMULATORS)
+def test_table3_incremental(benchmark, levels_cache, entry, simulator):
+    name, qubits = entry
+    n, levels = levels_cache(name, qubits)
+    factory = make_factory(simulator, num_workers=1)
+
+    def run():
+        return levelwise_incremental(n, levels, factory, circuit_name=name)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["circuit"] = name
+    benchmark.extra_info["qubits"] = n
+    benchmark.extra_info["num_updates"] = result.num_updates
+    benchmark.extra_info["peak_memory_bytes"] = result.peak_allocated_bytes

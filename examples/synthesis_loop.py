@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Simulation-driven circuit synthesis with incremental updates.
+
+The paper motivates incremental QCS with quantum circuit synthesis engines
+that "issue thousands of simulation runs in an optimization loop to evaluate
+how a local change affects output amplitudes" (§II.C).  This example runs a
+small version of that loop: starting from a layered ansatz it repeatedly
+perturbs one rotation gate (remove + re-insert with a new angle) and keeps
+the change when it increases the probability of a target basis state.  Every
+evaluation is an *incremental* ``update_state`` call.
+
+Run with::
+
+    python examples/synthesis_loop.py
+"""
+
+import math
+import random
+import time
+
+from repro import QTask
+
+
+NUM_QUBITS = 6
+LAYERS = 3
+TARGET_STATE = 0b101101      # the basis state whose probability we maximise
+ITERATIONS = 120
+
+
+def build_ansatz(ckt: QTask, rng: random.Random):
+    """A layered RY + CX-ladder ansatz; yields (net, qubit, angle, handle) slots."""
+    for _ in range(LAYERS):
+        rot_net = ckt.insert_net()
+        handles = []
+        for q in range(NUM_QUBITS):
+            theta = rng.uniform(0, 2 * math.pi)
+            handles.append(
+                (rot_net, q, theta, ckt.insert_gate("ry", rot_net, q, params=(theta,)))
+            )
+        entangle_even = ckt.insert_net()
+        for q in range(0, NUM_QUBITS - 1, 2):
+            ckt.insert_gate("cx", entangle_even, q, q + 1)
+        entangle_odd = ckt.insert_net()
+        for q in range(1, NUM_QUBITS - 1, 2):
+            ckt.insert_gate("cx", entangle_odd, q, q + 1)
+        yield from handles
+
+
+def main() -> None:
+    rng = random.Random(7)
+    ckt = QTask(NUM_QUBITS, block_size=8)
+    slots = list(build_ansatz(ckt, rng))
+
+    ckt.update_state()
+    best = ckt.probability(TARGET_STATE)
+    print(f"initial P(target) = {best:.4f}")
+
+    accepted = 0
+    affected_total = 0
+    start = time.perf_counter()
+    for it in range(ITERATIONS):
+        net, qubit, old_theta, handle = slots[rng.randrange(len(slots))]
+        new_theta = (old_theta + rng.gauss(0.0, 0.6)) % (2 * math.pi)
+
+        # local change: replace one rotation gate
+        ckt.remove_gate(handle)
+        new_handle = ckt.insert_gate("ry", net, qubit, params=(new_theta,))
+        report = ckt.update_state()          # incremental re-simulation
+        affected_total += report.affected_partitions
+
+        prob = ckt.probability(TARGET_STATE)
+        if prob > best:
+            best = prob
+            accepted += 1
+            slots[slots.index((net, qubit, old_theta, handle))] = (
+                net, qubit, new_theta, new_handle)
+        else:
+            # revert the change (again incrementally)
+            ckt.remove_gate(new_handle)
+            reverted = ckt.insert_gate("ry", net, qubit, params=(old_theta,))
+            ckt.update_state()
+            slots[slots.index((net, qubit, old_theta, handle))] = (
+                net, qubit, old_theta, reverted)
+    elapsed = time.perf_counter() - start
+
+    stats = ckt.statistics()
+    print(f"after {ITERATIONS} local changes: P(target) = {best:.4f} "
+          f"({accepted} accepted)")
+    print(f"total wall time {elapsed:.2f} s, "
+          f"mean affected partitions per update "
+          f"{affected_total / ITERATIONS:.1f} of {stats['num_nodes']}")
+    ckt.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Common interface for the full-re-simulation baseline simulators."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.circuit import Circuit
+
+__all__ = ["BaselineResult", "BaselineSimulator"]
+
+
+@dataclass
+class BaselineResult:
+    """What one baseline ``update_state`` call did (always a full re-sim)."""
+
+    gates_applied: int = 0
+    elapsed_seconds: float = 0.0
+    was_incremental: bool = False  # baselines never update incrementally
+
+
+class BaselineSimulator(ABC):
+    """A simulator that re-simulates the entire circuit on every update.
+
+    Baselines share the circuit-modifier workflow with qTask (the circuit
+    object *is* shared), but ``update_state`` always starts from |0...0> and
+    re-applies every gate -- which is exactly how the paper drives Qulacs and
+    Qiskit in its incremental experiments.
+    """
+
+    name: str = "baseline"
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.dim = 1 << circuit.num_qubits
+        self._state = self._fresh_state()
+        self.last_update = BaselineResult()
+        self._num_updates = 0
+
+    def _fresh_state(self) -> np.ndarray:
+        psi = np.zeros(self.dim, dtype=np.complex128)
+        psi[0] = 1.0
+        return psi
+
+    @abstractmethod
+    def _apply_circuit(self, state: np.ndarray) -> np.ndarray:
+        """Apply every gate of the circuit (net order) to ``state``."""
+
+    def update_state(self) -> BaselineResult:
+        start = time.perf_counter()
+        state = self._fresh_state()
+        state = self._apply_circuit(state)
+        self._state = state
+        result = BaselineResult(
+            gates_applied=self.circuit.num_gates,
+            elapsed_seconds=time.perf_counter() - start,
+            was_incremental=False,
+        )
+        self.last_update = result
+        self._num_updates += 1
+        return result
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self) -> np.ndarray:
+        return np.array(self._state, copy=True)
+
+    def amplitude(self, basis_state: int) -> complex:
+        return complex(self._state[basis_state])
+
+    def probabilities(self) -> np.ndarray:
+        return (self._state.conj() * self._state).real
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._state))
+
+    def allocated_bytes(self) -> int:
+        """Logical memory footprint (a working vector plus a scratch vector)."""
+        return 2 * self._state.nbytes
+
+    def close(self) -> None:  # pragma: no cover - symmetry with QTask
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(qubits={self.circuit.num_qubits})"

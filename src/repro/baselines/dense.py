@@ -1,0 +1,52 @@
+"""Ground-truth reference simulator (full 2^n x 2^n operators).
+
+This simulator is deliberately naive and *independent* of the optimized
+kernels: every gate is embedded into a dense ``2^n x 2^n`` matrix with an
+index-loop construction and multiplied into the state.  It is exponentially
+expensive and only meant as the oracle for correctness tests (which is why it
+refuses to run beyond a small number of qubits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core.exceptions import CircuitError
+from ..core.gates import embed_gate_matrix
+from .base import BaselineSimulator
+
+__all__ = ["DenseReferenceSimulator"]
+
+#: Refuse to build dense operators beyond this size (64 MiB per operator).
+MAX_REFERENCE_QUBITS = 12
+
+
+class DenseReferenceSimulator(BaselineSimulator):
+    """Oracle simulator used by the test suite."""
+
+    name = "dense-reference"
+
+    def __init__(self, circuit: Circuit) -> None:
+        if circuit.num_qubits > MAX_REFERENCE_QUBITS:
+            raise CircuitError(
+                f"DenseReferenceSimulator supports at most {MAX_REFERENCE_QUBITS} "
+                f"qubits, got {circuit.num_qubits}"
+            )
+        super().__init__(circuit)
+
+    def _apply_circuit(self, state: np.ndarray) -> np.ndarray:
+        n = self.circuit.num_qubits
+        for net in self.circuit.nets():
+            for handle in net.gates:
+                state = embed_gate_matrix(handle.gate, n) @ state
+        return state
+
+    def unitary(self) -> np.ndarray:
+        """The full circuit unitary (useful for equivalence-checking tests)."""
+        n = self.circuit.num_qubits
+        u = np.eye(1 << n, dtype=complex)
+        for net in self.circuit.nets():
+            for handle in net.gates:
+                u = embed_gate_matrix(handle.gate, n) @ u
+        return u

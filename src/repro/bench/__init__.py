@@ -1,0 +1,52 @@
+"""Benchmark harness reproducing the paper's evaluation (§IV).
+
+Submodules map one-to-one onto the paper's tables and figures:
+
+* :mod:`repro.bench.table3`  -- Table III (full / incremental runtime + memory
+  for the 20 QASMBench-family circuits, three simulators),
+* :mod:`repro.bench.figures` -- Figs. 14/15/16 (random insertion, removal and
+  mixed modifier sweeps),
+* :mod:`repro.bench.scaling` -- Figs. 17/18 (runtime vs. number of cores),
+* :mod:`repro.bench.blocksize` -- Fig. 19 (runtime vs. block size),
+* :mod:`repro.bench.memory` -- §IV.F (copy-on-write memory ablation).
+
+Each module exposes plain functions (used by the pytest-benchmark suites in
+``benchmarks/``) and a ``main()`` so it can be run directly, e.g.::
+
+    python -m repro.bench.table3 --scale medium --quick
+"""
+
+from .adapters import (
+    SimulatorAdapter,
+    SimulatorFactory,
+    qiskit_like_factory,
+    qtask_factory,
+    qulacs_like_factory,
+    standard_factories,
+)
+from .metrics import FigurePoint, FigureSeries, Table3Row, WorkloadResult
+from .workloads import (
+    full_simulation,
+    insertion_sweep,
+    levelwise_incremental,
+    mixed_sweep,
+    removal_sweep,
+)
+
+__all__ = [
+    "SimulatorAdapter",
+    "SimulatorFactory",
+    "qtask_factory",
+    "qulacs_like_factory",
+    "qiskit_like_factory",
+    "standard_factories",
+    "WorkloadResult",
+    "Table3Row",
+    "FigurePoint",
+    "FigureSeries",
+    "full_simulation",
+    "levelwise_incremental",
+    "insertion_sweep",
+    "removal_sweep",
+    "mixed_sweep",
+]

@@ -1,0 +1,109 @@
+"""Uniform adapters over qTask and the baseline simulators.
+
+The workloads in :mod:`repro.bench.workloads` drive every simulator through
+the same tiny interface -- attach to a circuit, ``update_state``, report
+memory, close -- so a benchmark row differs between simulators only in which
+factory produced the adapter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import QiskitLikeSimulator, QulacsLikeSimulator
+from ..core.blocks import DEFAULT_BLOCK_SIZE
+from ..core.circuit import Circuit
+from ..core.simulator import QTaskSimulator
+
+__all__ = [
+    "SimulatorAdapter",
+    "SimulatorFactory",
+    "qtask_factory",
+    "qulacs_like_factory",
+    "qiskit_like_factory",
+    "standard_factories",
+]
+
+
+class SimulatorAdapter:
+    """Minimal uniform surface over qTask and the baselines."""
+
+    def __init__(self, name: str, impl, *, incremental: bool) -> None:
+        self.name = name
+        self.impl = impl
+        self.incremental = incremental
+
+    def update_state(self):
+        return self.impl.update_state()
+
+    def state(self):
+        return self.impl.state()
+
+    def allocated_bytes(self) -> int:
+        if hasattr(self.impl, "memory_report"):
+            return self.impl.memory_report().allocated_bytes
+        return self.impl.allocated_bytes()
+
+    def close(self) -> None:
+        self.impl.close()
+
+
+@dataclass(frozen=True)
+class SimulatorFactory:
+    """Creates a :class:`SimulatorAdapter` attached to a circuit."""
+
+    name: str
+    builder: Callable[[Circuit], SimulatorAdapter]
+
+    def create(self, circuit: Circuit) -> SimulatorAdapter:
+        return self.builder(circuit)
+
+
+def qtask_factory(
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_workers: Optional[int] = None,
+    copy_on_write: bool = True,
+    name: str = "qTask",
+) -> SimulatorFactory:
+    def build(circuit: Circuit) -> SimulatorAdapter:
+        sim = QTaskSimulator(
+            circuit,
+            block_size=block_size,
+            num_workers=num_workers,
+            copy_on_write=copy_on_write,
+        )
+        return SimulatorAdapter(name, sim, incremental=True)
+
+    return SimulatorFactory(name=name, builder=build)
+
+
+def qulacs_like_factory(
+    *, num_workers: Optional[int] = None, name: str = "Qulacs-like"
+) -> SimulatorFactory:
+    def build(circuit: Circuit) -> SimulatorAdapter:
+        sim = QulacsLikeSimulator(circuit, num_workers=num_workers)
+        return SimulatorAdapter(name, sim, incremental=False)
+
+    return SimulatorFactory(name=name, builder=build)
+
+
+def qiskit_like_factory(*, name: str = "Qiskit-like") -> SimulatorFactory:
+    def build(circuit: Circuit) -> SimulatorAdapter:
+        return SimulatorAdapter(name, QiskitLikeSimulator(circuit), incremental=False)
+
+    return SimulatorFactory(name=name, builder=build)
+
+
+def standard_factories(
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    num_workers: Optional[int] = None,
+) -> List[SimulatorFactory]:
+    """The three simulators of Table III, in the paper's column order."""
+    return [
+        qulacs_like_factory(num_workers=num_workers),
+        qiskit_like_factory(),
+        qtask_factory(block_size=block_size, num_workers=num_workers),
+    ]

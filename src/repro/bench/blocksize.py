@@ -1,0 +1,78 @@
+"""Figure 19: impact of the block size on full and incremental runtime.
+
+Sweeps ``B = 2^k`` for qTask on one circuit (qft by default), running both a
+full simulation and a mixed incremental workload at each block size.
+
+Run directly::
+
+    python -m repro.bench.blocksize --circuit qft --min-log 2 --max-log 12
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuits import build_levels
+from .adapters import qtask_factory
+from .metrics import FigureSeries
+from .report import ascii_plot, format_series_table
+from .workloads import full_simulation, mixed_sweep
+
+__all__ = ["figure19_blocksize", "main"]
+
+
+def figure19_blocksize(
+    circuit: str = "qft",
+    *,
+    log_block_sizes: Optional[Sequence[int]] = None,
+    num_workers: Optional[int] = None,
+    iterations: int = 20,
+    num_qubits: Optional[int] = None,
+) -> Tuple[FigureSeries, FigureSeries]:
+    """(full, incremental) runtime series indexed by log2(block size)."""
+    qubits, levels = build_levels(circuit, num_qubits=num_qubits)
+    if log_block_sizes is None:
+        log_block_sizes = list(range(1, min(qubits, 14) + 1))
+    full_series = FigureSeries(label="full")
+    inc_series = FigureSeries(label="incremental")
+    for log_b in log_block_sizes:
+        block = 1 << log_b
+        factory = qtask_factory(block_size=block, num_workers=num_workers)
+        full = full_simulation(qubits, levels, factory, circuit_name=circuit)
+        factory = qtask_factory(block_size=block, num_workers=num_workers)
+        inc = mixed_sweep(qubits, levels, factory, iterations=iterations,
+                          circuit_name=circuit)
+        full_series.add(log_b, full.total_seconds * 1e3)
+        inc_series.add(log_b, inc.total_seconds)
+    return full_series, inc_series
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--circuit", default="qft")
+    parser.add_argument("--qubits", type=int, default=None)
+    parser.add_argument("--min-log", type=int, default=1)
+    parser.add_argument("--max-log", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    full_series, inc_series = figure19_blocksize(
+        args.circuit,
+        log_block_sizes=range(args.min_log, args.max_log + 1),
+        num_workers=args.workers,
+        iterations=args.iterations,
+        num_qubits=args.qubits,
+    )
+    print(format_series_table([full_series], "log2(B)", "full ms"))
+    print()
+    print(format_series_table([inc_series], "log2(B)", "incremental s"))
+    print()
+    print(ascii_plot([full_series], title=f"Fig 19 (full): {args.circuit}"))
+    print(ascii_plot([inc_series], title=f"Fig 19 (incremental): {args.circuit}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Result records produced by the benchmark workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkloadResult", "Table3Row", "FigurePoint", "FigureSeries"]
+
+
+@dataclass
+class WorkloadResult:
+    """Timing/memory outcome of one workload run on one simulator."""
+
+    simulator: str
+    workload: str
+    circuit: str
+    total_seconds: float
+    per_iteration_seconds: List[float] = field(default_factory=list)
+    peak_allocated_bytes: int = 0
+    num_updates: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+    @property
+    def cumulative_seconds(self) -> List[float]:
+        out, acc = [], 0.0
+        for t in self.per_iteration_seconds:
+            acc += t
+            out.append(acc)
+        return out
+
+
+@dataclass
+class Table3Row:
+    """One circuit row of Table III (three simulators x full/inc/mem)."""
+
+    circuit: str
+    description: str
+    qubits: int
+    gates: int
+    cnots: int
+    #: simulator name -> (full seconds, incremental seconds, peak bytes)
+    results: Dict[str, Tuple[float, float, int]] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: str, target: str = "qTask") -> Tuple[float, float]:
+        """(full, incremental) speedup of ``target`` over ``baseline``."""
+        bf, bi, _ = self.results[baseline]
+        tf, ti, _ = self.results[target]
+        return (bf / tf if tf else float("nan"), bi / ti if ti else float("nan"))
+
+
+@dataclass
+class FigurePoint:
+    """One (x, y) point of a figure series."""
+
+    x: float
+    y: float
+
+
+@dataclass
+class FigureSeries:
+    """A named series of points (one curve of a paper figure)."""
+
+    label: str
+    points: List[FigurePoint] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append(FigurePoint(x, y))
+
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p.y for p in self.points]

@@ -1,0 +1,94 @@
+"""Plain-text rendering of benchmark results (tables and ASCII curves)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import FigureSeries, Table3Row
+
+__all__ = ["format_table3", "format_series_table", "ascii_plot", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def format_table3(rows: Sequence[Table3Row], simulators: Sequence[str]) -> str:
+    """Render Table III: per-circuit full/inc runtime (ms) and memory (GB)."""
+    header = ["Circuit", "Qubits", "Gates", "CNOT"]
+    for sim in simulators:
+        header += [f"{sim} full(ms)", f"{sim} inc(ms)", f"{sim} mem(MB)"]
+    lines = ["\t".join(header)]
+    speedups: Dict[str, List[float]] = {s: [] for s in simulators}
+    inc_speedups: Dict[str, List[float]] = {s: [] for s in simulators}
+    for row in rows:
+        cells = [row.circuit, str(row.qubits), str(row.gates), str(row.cnots)]
+        for sim in simulators:
+            full_s, inc_s, mem = row.results.get(sim, (float("nan"), float("nan"), 0))
+            cells += [f"{full_s*1e3:.2f}", f"{inc_s*1e3:.2f}", f"{mem/2**20:.2f}"]
+        lines.append("\t".join(cells))
+        if "qTask" in row.results:
+            qf, qi, _ = row.results["qTask"]
+            for sim in simulators:
+                if sim == "qTask" or sim not in row.results:
+                    continue
+                bf, bi, _ = row.results[sim]
+                if qf > 0:
+                    speedups[sim].append(bf / qf)
+                if qi > 0:
+                    inc_speedups[sim].append(bi / qi)
+    summary = []
+    for sim in simulators:
+        if sim == "qTask" or not speedups.get(sim):
+            continue
+        summary.append(
+            f"qTask speedup over {sim}: "
+            f"full {geometric_mean(speedups[sim]):.2f}x, "
+            f"incremental {geometric_mean(inc_speedups[sim]):.2f}x"
+        )
+    return "\n".join(lines + [""] + summary)
+
+
+def format_series_table(series: Sequence[FigureSeries], x_label: str, y_label: str) -> str:
+    """Render figure series as a tab-separated table (x, one column per series)."""
+    xs = sorted({x for s in series for x in s.xs()})
+    lines = ["\t".join([x_label] + [s.label for s in series]) + f"   ({y_label})"]
+    lookup = [{p.x: p.y for p in s.points} for s in series]
+    for x in xs:
+        cells = [f"{x:g}"]
+        for table in lookup:
+            y = table.get(x)
+            cells.append(f"{y:.4g}" if y is not None else "-")
+        lines.append("\t".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_plot(series: Sequence[FigureSeries], *, width: int = 64, height: int = 16,
+               title: str = "") -> str:
+    """A tiny ASCII scatter/line plot for quick terminal inspection."""
+    points = [(p.x, p.y) for s in series for p in s.points]
+    if not points:
+        return f"{title}\n(no data)"
+    xs, ys = zip(*points)
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for si, s in enumerate(series):
+        mark = markers[si % len(markers)]
+        for p in s.points:
+            col = int((p.x - xmin) / xspan * (width - 1))
+            row = height - 1 - int((p.y - ymin) / yspan * (height - 1))
+            grid[row][col] = mark
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series))
+    lines = [title, f"y: [{ymin:.3g}, {ymax:.3g}]  x: [{xmin:.3g}, {xmax:.3g}]", legend]
+    lines += ["|" + "".join(r) for r in grid]
+    return "\n".join(lines)

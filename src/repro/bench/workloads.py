@@ -1,0 +1,260 @@
+"""Benchmark workloads: full simulation and the incremental modifier sweeps.
+
+All workloads take the circuit as *levels* (lists of gates, one list per net)
+plus a :class:`~repro.bench.adapters.SimulatorFactory`, build a fresh circuit,
+drive the simulator through the modifier/update sequence the paper describes,
+and return a :class:`~repro.bench.metrics.WorkloadResult`.
+
+Timing includes both the circuit modifiers and the simulation call of each
+iteration, which is how the paper defines an incremental iteration
+("a sequence of circuit modifiers followed by a simulation call", §IV.C).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.circuit import Circuit, GateHandle, NetHandle
+from ..core.gates import Gate
+from .adapters import SimulatorAdapter, SimulatorFactory
+from .metrics import WorkloadResult
+
+__all__ = [
+    "full_simulation",
+    "levelwise_incremental",
+    "insertion_sweep",
+    "removal_sweep",
+    "mixed_sweep",
+]
+
+Levels = Sequence[Sequence[Gate]]
+
+
+def _new_circuit(num_qubits: int) -> Circuit:
+    return Circuit(num_qubits)
+
+
+def _track_peak(adapter: SimulatorAdapter, peak: int) -> int:
+    try:
+        return max(peak, adapter.allocated_bytes())
+    except Exception:  # pragma: no cover - defensive
+        return peak
+
+
+def full_simulation(
+    num_qubits: int, levels: Levels, factory: SimulatorFactory, *, circuit_name: str = ""
+) -> WorkloadResult:
+    """Construct the whole circuit, then issue a single simulation call."""
+    circuit = _new_circuit(num_qubits)
+    adapter = factory.create(circuit)
+    try:
+        start = time.perf_counter()
+        for level in levels:
+            net = circuit.insert_net()
+            for gate in level:
+                circuit.insert_gate(gate, net)
+        adapter.update_state()
+        elapsed = time.perf_counter() - start
+        peak = _track_peak(adapter, 0)
+        return WorkloadResult(
+            simulator=factory.name,
+            workload="full",
+            circuit=circuit_name,
+            total_seconds=elapsed,
+            per_iteration_seconds=[elapsed],
+            peak_allocated_bytes=peak,
+            num_updates=1,
+        )
+    finally:
+        adapter.close()
+
+
+def levelwise_incremental(
+    num_qubits: int, levels: Levels, factory: SimulatorFactory, *, circuit_name: str = ""
+) -> WorkloadResult:
+    """The paper's "inc" column: one simulation call per net, level by level."""
+    circuit = _new_circuit(num_qubits)
+    adapter = factory.create(circuit)
+    per_iter: List[float] = []
+    peak = 0
+    try:
+        for level in levels:
+            t0 = time.perf_counter()
+            net = circuit.insert_net()
+            for gate in level:
+                circuit.insert_gate(gate, net)
+            adapter.update_state()
+            per_iter.append(time.perf_counter() - t0)
+            peak = _track_peak(adapter, peak)
+        return WorkloadResult(
+            simulator=factory.name,
+            workload="levelwise",
+            circuit=circuit_name,
+            total_seconds=sum(per_iter),
+            per_iteration_seconds=per_iter,
+            peak_allocated_bytes=peak,
+            num_updates=len(per_iter),
+        )
+    finally:
+        adapter.close()
+
+
+def insertion_sweep(
+    num_qubits: int,
+    levels: Levels,
+    factory: SimulatorFactory,
+    *,
+    levels_per_iteration: int = 2,
+    seed: int = 1,
+    circuit_name: str = "",
+) -> WorkloadResult:
+    """Fig. 14: random gate insertions until the circuit is fully constructed.
+
+    All (empty) nets are created up front; each iteration picks a few random
+    not-yet-populated levels, inserts all their gates, and calls update.
+    """
+    rng = random.Random(seed)
+    circuit = _new_circuit(num_qubits)
+    adapter = factory.create(circuit)
+    per_iter: List[float] = []
+    peak = 0
+    try:
+        nets: List[NetHandle] = [circuit.insert_net() for _ in levels]
+        pending = list(range(len(levels)))
+        rng.shuffle(pending)
+        while pending:
+            chosen = [pending.pop() for _ in range(min(levels_per_iteration, len(pending)))]
+            t0 = time.perf_counter()
+            for idx in chosen:
+                for gate in levels[idx]:
+                    circuit.insert_gate(gate, nets[idx])
+            adapter.update_state()
+            per_iter.append(time.perf_counter() - t0)
+            peak = _track_peak(adapter, peak)
+        return WorkloadResult(
+            simulator=factory.name,
+            workload="insertions",
+            circuit=circuit_name,
+            total_seconds=sum(per_iter),
+            per_iteration_seconds=per_iter,
+            peak_allocated_bytes=peak,
+            num_updates=len(per_iter),
+        )
+    finally:
+        adapter.close()
+
+
+def removal_sweep(
+    num_qubits: int,
+    levels: Levels,
+    factory: SimulatorFactory,
+    *,
+    levels_per_iteration: int = 2,
+    seed: int = 2,
+    circuit_name: str = "",
+) -> WorkloadResult:
+    """Fig. 15: start from the complete circuit, randomly remove levels.
+
+    Iteration 0 is the full simulation; every following iteration removes all
+    gates of a few random still-populated levels and re-simulates, until the
+    circuit is empty.
+    """
+    rng = random.Random(seed)
+    circuit = _new_circuit(num_qubits)
+    adapter = factory.create(circuit)
+    per_iter: List[float] = []
+    peak = 0
+    try:
+        handles: Dict[int, List[GateHandle]] = {}
+        t0 = time.perf_counter()
+        for idx, level in enumerate(levels):
+            net = circuit.insert_net()
+            handles[idx] = [circuit.insert_gate(g, net) for g in level]
+        adapter.update_state()
+        per_iter.append(time.perf_counter() - t0)
+        peak = _track_peak(adapter, peak)
+
+        remaining = [i for i in range(len(levels)) if handles[i]]
+        rng.shuffle(remaining)
+        while remaining:
+            chosen = [remaining.pop() for _ in range(min(levels_per_iteration, len(remaining)))]
+            t0 = time.perf_counter()
+            for idx in chosen:
+                for h in handles[idx]:
+                    circuit.remove_gate(h)
+                handles[idx] = []
+            adapter.update_state()
+            per_iter.append(time.perf_counter() - t0)
+            peak = _track_peak(adapter, peak)
+        return WorkloadResult(
+            simulator=factory.name,
+            workload="removals",
+            circuit=circuit_name,
+            total_seconds=sum(per_iter),
+            per_iteration_seconds=per_iter,
+            peak_allocated_bytes=peak,
+            num_updates=len(per_iter),
+        )
+    finally:
+        adapter.close()
+
+
+def mixed_sweep(
+    num_qubits: int,
+    levels: Levels,
+    factory: SimulatorFactory,
+    *,
+    iterations: int = 50,
+    levels_per_iteration: int = 1,
+    seed: int = 3,
+    circuit_name: str = "",
+) -> WorkloadResult:
+    """Fig. 16: alternate random gate removals and insertions for N iterations.
+
+    The circuit starts fully constructed; every iteration removes the gates of
+    a few random populated levels and re-inserts the gates of a few random
+    empty levels, then calls update.
+    """
+    rng = random.Random(seed)
+    circuit = _new_circuit(num_qubits)
+    adapter = factory.create(circuit)
+    per_iter: List[float] = []
+    peak = 0
+    try:
+        nets: List[NetHandle] = []
+        handles: Dict[int, List[GateHandle]] = {}
+        for idx, level in enumerate(levels):
+            net = circuit.insert_net()
+            nets.append(net)
+            handles[idx] = [circuit.insert_gate(g, net) for g in level]
+        adapter.update_state()
+        peak = _track_peak(adapter, peak)
+
+        for _ in range(iterations):
+            t0 = time.perf_counter()
+            populated = [i for i in range(len(levels)) if handles[i]]
+            empty = [i for i in range(len(levels)) if not handles[i]]
+            rng.shuffle(populated)
+            rng.shuffle(empty)
+            for idx in populated[:levels_per_iteration]:
+                for h in handles[idx]:
+                    circuit.remove_gate(h)
+                handles[idx] = []
+            for idx in empty[:levels_per_iteration]:
+                handles[idx] = [circuit.insert_gate(g, nets[idx]) for g in levels[idx]]
+            adapter.update_state()
+            per_iter.append(time.perf_counter() - t0)
+            peak = _track_peak(adapter, peak)
+        return WorkloadResult(
+            simulator=factory.name,
+            workload="mixed",
+            circuit=circuit_name,
+            total_seconds=sum(per_iter),
+            per_iteration_seconds=per_iter,
+            peak_allocated_bytes=peak,
+            num_updates=len(per_iter),
+        )
+    finally:
+        adapter.close()

@@ -1,0 +1,297 @@
+"""Textbook-algorithm workload generators (QFT, BV, adders, Grover, ...).
+
+Each generator returns a flat gate list; the catalog levelizes it into nets.
+Random choices are driven by an explicit seed so every benchmark circuit is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from ..core.gates import Gate
+from .blocksets import cuccaro_adder, inverse_qft_gates, qft_gates, toffoli_gates
+
+__all__ = [
+    "quantum_fourier_transform",
+    "bernstein_vazirani",
+    "ripple_adder",
+    "multiplier",
+    "phase_estimation",
+    "simons_algorithm",
+    "grover_sat",
+    "counterfeit_coin",
+    "shor_factor_21",
+    "shor_error_correction",
+]
+
+
+def quantum_fourier_transform(num_qubits: int, *, repetitions: int = 1,
+                              prepare: bool = True,
+                              decompose_cp: bool = True) -> List[Gate]:
+    """QFT benchmark: optional input preparation followed by QFT rounds."""
+    gates: List[Gate] = []
+    if prepare:
+        for q in range(num_qubits):
+            gates.append(Gate("h", (q,)))
+            gates.append(Gate("t", (q,)))
+    for _ in range(repetitions):
+        gates.extend(qft_gates(range(num_qubits), decompose_cp=decompose_cp))
+    return gates
+
+
+def bernstein_vazirani(num_qubits: int, secret: Optional[int] = None,
+                       *, seed: int = 7) -> List[Gate]:
+    """Bernstein--Vazirani with an ``num_qubits - 1`` bit secret string."""
+    data = num_qubits - 1
+    ancilla = num_qubits - 1
+    if secret is None:
+        # QASMBench's bv uses an all-ones secret: every data qubit gets a CX.
+        secret = (1 << data) - 1
+    gates: List[Gate] = [Gate("x", (ancilla,)), Gate("h", (ancilla,))]
+    gates.extend(Gate("h", (q,)) for q in range(data))
+    for q in range(data):
+        if (secret >> q) & 1:
+            gates.append(Gate("cx", (q, ancilla)))
+    gates.extend(Gate("h", (q,)) for q in range(data))
+    return gates
+
+
+def ripple_adder(num_qubits: int, *, decompose_toffoli: bool = False,
+                 seed: int = 11) -> List[Gate]:
+    """Cuccaro ripple-carry adder on ``(num_qubits - 2) / 2``-bit operands.
+
+    Layout (low to high): carry-in, a register, b register, carry-out.
+    Random X gates prepare the two operands so the adder has work to do.
+    """
+    if num_qubits < 4:
+        raise ValueError("ripple_adder needs at least 4 qubits")
+    bits = (num_qubits - 2) // 2
+    carry_in = 0
+    a = list(range(1, 1 + bits))
+    b = list(range(1 + bits, 1 + 2 * bits))
+    carry_out = 1 + 2 * bits
+    rng = random.Random(seed)
+    gates: List[Gate] = []
+    for q in a + b:
+        if rng.random() < 0.5:
+            gates.append(Gate("x", (q,)))
+    gates.extend(cuccaro_adder(a, b, carry_in, carry_out,
+                               decompose_toffoli=decompose_toffoli))
+    return gates
+
+
+def multiplier(num_qubits: int, *, seed: int = 13,
+               decompose_toffoli: bool = True) -> List[Gate]:
+    """Quantum multiplication via repeated controlled additions.
+
+    Splits the register into two small operands and an accumulator and runs a
+    shift-and-add multiplier built from Toffoli/CX networks, the dominant gate
+    mix of QASMBench's ``multiplier`` circuits.
+    """
+    if num_qubits < 6:
+        raise ValueError("multiplier needs at least 6 qubits")
+    bits = max(2, num_qubits // 3)
+    x = list(range(0, bits))
+    y = list(range(bits, 2 * bits))
+    acc = list(range(2 * bits, num_qubits))
+    rng = random.Random(seed)
+    gates: List[Gate] = []
+    for q in x + y:
+        if rng.random() < 0.5:
+            gates.append(Gate("x", (q,)))
+    for i, xq in enumerate(x):
+        for j, yq in enumerate(y):
+            k = i + j
+            if k < len(acc):
+                gates.extend(toffoli_gates(xq, yq, acc[k], decompose=decompose_toffoli))
+                # ripple the carry with controlled-controlled chains
+                for c in range(k + 1, len(acc)):
+                    gates.extend(
+                        toffoli_gates(acc[c - 1], yq, acc[c], decompose=decompose_toffoli)
+                    )
+                    gates.append(Gate("cx", (xq, acc[c - 1])))
+    return gates
+
+
+def phase_estimation(num_qubits: int, *, phase: float = 0.3125) -> List[Gate]:
+    """Quantum phase estimation of a Z-rotation eigenphase.
+
+    The last qubit carries the eigenstate; the remaining qubits form the
+    counting register read out through an inverse QFT.
+    """
+    if num_qubits < 2:
+        raise ValueError("phase_estimation needs at least 2 qubits")
+    counting = list(range(num_qubits - 1))
+    target = num_qubits - 1
+    gates: List[Gate] = [Gate("x", (target,))]
+    gates.extend(Gate("h", (q,)) for q in counting)
+    for k, q in enumerate(counting):
+        angle = 2.0 * math.pi * phase * (2**k)
+        gates.append(Gate("cp", (q, target), (angle,)))
+    gates.extend(inverse_qft_gates(counting, decompose_cp=True))
+    return gates
+
+
+def simons_algorithm(num_qubits: int, *, secret: Optional[int] = None,
+                     seed: int = 5) -> List[Gate]:
+    """Simon's algorithm on ``num_qubits // 2`` input qubits."""
+    half = num_qubits // 2
+    if secret is None:
+        secret = random.Random(seed).getrandbits(half) | 1
+    inputs = list(range(half))
+    outputs = list(range(half, 2 * half))
+    gates: List[Gate] = [Gate("h", (q,)) for q in inputs]
+    # Oracle: copy input to output, then XOR the secret conditioned on input0.
+    for i, o in zip(inputs, outputs):
+        gates.append(Gate("cx", (i, o)))
+    for j in range(half):
+        if (secret >> j) & 1:
+            gates.append(Gate("cx", (inputs[0], outputs[j])))
+    gates.extend(Gate("h", (q,)) for q in inputs)
+    return gates
+
+
+def _multi_controlled_z(controls: Sequence[int], target: int, ancillas: Sequence[int]) -> List[Gate]:
+    """Multi-controlled Z via a CCX ladder over ancilla qubits."""
+    gates: List[Gate] = []
+    controls = list(controls)
+    if not controls:
+        return [Gate("z", (target,))]
+    if len(controls) == 1:
+        return [Gate("cz", (controls[0], target))]
+    if len(controls) == 2:
+        return (
+            toffoli_gates(controls[0], controls[1], target)[:0]
+            + [Gate("h", (target,))]
+            + toffoli_gates(controls[0], controls[1], target)
+            + [Gate("h", (target,))]
+        )
+    if len(ancillas) < len(controls) - 2:
+        # fall back: chain of CZ (approximate oracle structure, same gate mix)
+        return [Gate("cz", (c, target)) for c in controls]
+    ladder: List[Gate] = []
+    ladder.extend(toffoli_gates(controls[0], controls[1], ancillas[0], decompose=True))
+    for i in range(2, len(controls) - 1):
+        ladder.extend(
+            toffoli_gates(controls[i], ancillas[i - 2], ancillas[i - 1], decompose=True)
+        )
+    gates.extend(ladder)
+    gates.append(Gate("h", (target,)))
+    gates.extend(
+        toffoli_gates(controls[-1], ancillas[len(controls) - 3], target, decompose=True)
+    )
+    gates.append(Gate("h", (target,)))
+    gates.extend(reversed(ladder))
+    return gates
+
+
+def grover_sat(num_qubits: int, *, iterations: int = 2, seed: int = 3) -> List[Gate]:
+    """Grover search for a random satisfying assignment (the ``sat`` family).
+
+    The oracle marks one random basis state of the search register with a
+    multi-controlled Z implemented through a Toffoli ladder over ancillas.
+    """
+    search = max(3, (2 * num_qubits) // 3)
+    data = list(range(search))
+    ancillas = list(range(search, num_qubits))
+    rng = random.Random(seed)
+    marked = rng.getrandbits(search)
+    gates: List[Gate] = [Gate("h", (q,)) for q in data]
+    for _ in range(iterations):
+        # Oracle
+        flips = [q for q in data if not (marked >> q) & 1]
+        gates.extend(Gate("x", (q,)) for q in flips)
+        gates.extend(_multi_controlled_z(data[:-1], data[-1], ancillas))
+        gates.extend(Gate("x", (q,)) for q in flips)
+        # Diffusion
+        gates.extend(Gate("h", (q,)) for q in data)
+        gates.extend(Gate("x", (q,)) for q in data)
+        gates.extend(_multi_controlled_z(data[:-1], data[-1], ancillas))
+        gates.extend(Gate("x", (q,)) for q in data)
+        gates.extend(Gate("h", (q,)) for q in data)
+    return gates
+
+
+def counterfeit_coin(num_qubits: int, *, false_coin: Optional[int] = None,
+                     seed: int = 17) -> List[Gate]:
+    """Counterfeit-coin finding (the ``cc`` family): CX fan-in to an ancilla.
+
+    Every coin qubit is weighed against the ancilla (one CX per coin), which
+    reproduces QASMBench's cc gate mix (~1 CX per qubit).
+    """
+    coins = num_qubits - 1
+    ancilla = num_qubits - 1
+    if false_coin is None:
+        false_coin = random.Random(seed).randrange(coins)
+    gates: List[Gate] = [Gate("h", (q,)) for q in range(coins)]
+    gates.append(Gate("x", (ancilla,)))
+    gates.append(Gate("h", (ancilla,)))
+    for q in range(coins):
+        gates.append(Gate("cx", (q, ancilla)))
+    gates.append(Gate("cx", (false_coin, ancilla)))
+    gates.extend(Gate("h", (q,)) for q in range(coins))
+    gates.append(Gate("h", (ancilla,)))
+    return gates
+
+
+def shor_factor_21(num_qubits: int = 15, *, seed: int = 23) -> List[Gate]:
+    """Order finding for N=21 (the ``qf21`` family).
+
+    A compiled-style period-finding circuit: Hadamard wall on the counting
+    register, controlled modular-multiplication networks built from CX/CCX
+    and SWAP gates, and an inverse QFT on the counting register.
+    """
+    counting = num_qubits // 2
+    work = num_qubits - counting
+    count_q = list(range(counting))
+    work_q = list(range(counting, num_qubits))
+    rng = random.Random(seed)
+    gates: List[Gate] = [Gate("h", (q,)) for q in count_q]
+    gates.append(Gate("x", (work_q[0],)))
+    for k, cq in enumerate(count_q):
+        # controlled multiplication by a^(2^k) mod 21, compiled to a fixed
+        # permutation network on the work register controlled by cq
+        perm = list(range(work))
+        rng.shuffle(perm)
+        for i, j in enumerate(perm):
+            if i < j:
+                gates.append(Gate("cx", (cq, work_q[i])))
+                gates.extend(toffoli_gates(cq, work_q[i], work_q[j], decompose=True))
+                gates.append(Gate("cx", (cq, work_q[i])))
+    gates.extend(inverse_qft_gates(count_q))
+    return gates
+
+
+def shor_error_correction(num_qubits: int = 11, *, rounds: int = 2) -> List[Gate]:
+    """Shor-code style encode / syndrome / decode cycles (the ``seca`` family)."""
+    if num_qubits < 9:
+        raise ValueError("shor_error_correction needs at least 9 qubits")
+    data = list(range(9))
+    anc = list(range(9, num_qubits))
+    gates: List[Gate] = []
+    # encode |psi> on qubit 0 into the 9-qubit Shor code
+    gates.append(Gate("ry", (0,), (0.7,)))
+    gates.append(Gate("cx", (0, 3)))
+    gates.append(Gate("cx", (0, 6)))
+    for blk in (0, 3, 6):
+        gates.append(Gate("h", (blk,)))
+        gates.append(Gate("cx", (blk, blk + 1)))
+        gates.append(Gate("cx", (blk, blk + 2)))
+    for _ in range(rounds):
+        # a (benign) error followed by syndrome extraction onto ancillas
+        gates.append(Gate("z", (4,)))
+        gates.append(Gate("z", (4,)))
+        for i, a in enumerate(anc):
+            gates.append(Gate("cx", (data[i % 9], a)))
+            gates.append(Gate("cx", (data[(i + 1) % 9], a)))
+    # decode (reverse of encode)
+    for blk in (6, 3, 0):
+        gates.append(Gate("cx", (blk, blk + 2)))
+        gates.append(Gate("cx", (blk, blk + 1)))
+        gates.append(Gate("h", (blk,)))
+    gates.append(Gate("cx", (0, 6)))
+    gates.append(Gate("cx", (0, 3)))
+    return gates

@@ -1,0 +1,146 @@
+"""Reusable circuit building blocks (QFT, adders, Toffoli networks, GHZ).
+
+All helpers return flat lists of :class:`~repro.core.gates.Gate`; callers
+levelize them into nets with :func:`repro.qasm.levelize`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from ..core.gates import Gate
+
+__all__ = [
+    "controlled_phase",
+    "qft_gates",
+    "inverse_qft_gates",
+    "controlled_phase_ladder",
+    "toffoli_gates",
+    "cuccaro_adder",
+    "ghz_levels",
+]
+
+
+def controlled_phase(control: int, target: int, angle: float,
+                     *, decompose: bool = False) -> List[Gate]:
+    """A controlled-phase gate, optionally compiled to CX + P (qelib1 cu1)."""
+    if not decompose:
+        return [Gate("cp", (control, target), (angle,))]
+    return [
+        Gate("p", (control,), (angle / 2,)),
+        Gate("cx", (control, target)),
+        Gate("p", (target,), (-angle / 2,)),
+        Gate("cx", (control, target)),
+        Gate("p", (target,), (angle / 2,)),
+    ]
+
+
+def qft_gates(qubits: Sequence[int], *, do_swaps: bool = True,
+              decompose_cp: bool = False) -> List[Gate]:
+    """The standard quantum Fourier transform on ``qubits``.
+
+    ``decompose_cp=True`` compiles the controlled-phase gates down to
+    CX + P, matching how QASMBench counts CNOTs in its qft circuits.
+    """
+    qubits = list(qubits)
+    n = len(qubits)
+    gates: List[Gate] = []
+    for i in range(n - 1, -1, -1):
+        gates.append(Gate("h", (qubits[i],)))
+        for j in range(i - 1, -1, -1):
+            angle = math.pi / (2 ** (i - j))
+            gates.extend(controlled_phase(qubits[j], qubits[i], angle,
+                                          decompose=decompose_cp))
+    if do_swaps:
+        for k in range(n // 2):
+            gates.append(Gate("swap", (qubits[k], qubits[n - 1 - k])))
+    return gates
+
+
+def inverse_qft_gates(qubits: Sequence[int], *, do_swaps: bool = True,
+                      decompose_cp: bool = False) -> List[Gate]:
+    """Inverse QFT (the adjoint of :func:`qft_gates`)."""
+    gates = qft_gates(qubits, do_swaps=do_swaps, decompose_cp=decompose_cp)
+    inverse: List[Gate] = []
+    for g in reversed(gates):
+        if g.name in ("cp", "p", "rz"):
+            inverse.append(Gate(g.name, g.qubits, (-g.params[0],)))
+        elif g.name in ("h", "swap", "cx"):
+            inverse.append(g)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unexpected gate {g} in QFT")
+    return inverse
+
+
+def controlled_phase_ladder(control: int, targets: Sequence[int], base_angle: float) -> List[Gate]:
+    """CP gates from one control to many targets with halving angles."""
+    gates = []
+    angle = base_angle
+    for t in targets:
+        gates.append(Gate("cp", (control, t), (angle,)))
+        angle /= 2.0
+    return gates
+
+
+def toffoli_gates(control1: int, control2: int, target: int, *, decompose: bool = False) -> List[Gate]:
+    """A Toffoli, either as one CCX gate or decomposed into Table-I gates."""
+    if not decompose:
+        return [Gate("ccx", (control1, control2, target))]
+    a, b, c = control1, control2, target
+    return [
+        Gate("h", (c,)),
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (c,)),
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (b,)),
+        Gate("t", (c,)),
+        Gate("h", (c,)),
+        Gate("cx", (a, b)),
+        Gate("t", (a,)),
+        Gate("tdg", (b,)),
+        Gate("cx", (a, b)),
+    ]
+
+
+def cuccaro_adder(a_qubits: Sequence[int], b_qubits: Sequence[int],
+                  carry_in: int, carry_out: int, *, decompose_toffoli: bool = False) -> List[Gate]:
+    """Cuccaro ripple-carry adder: ``b <- a + b`` with explicit carries.
+
+    ``a_qubits`` and ``b_qubits`` must have equal length (low bit first).
+    """
+    if len(a_qubits) != len(b_qubits):
+        raise ValueError("cuccaro_adder needs equally sized registers")
+    gates: List[Gate] = []
+
+    def maj(x: int, y: int, z: int) -> None:
+        gates.append(Gate("cx", (z, y)))
+        gates.append(Gate("cx", (z, x)))
+        gates.extend(toffoli_gates(x, y, z, decompose=decompose_toffoli))
+
+    def uma(x: int, y: int, z: int) -> None:
+        gates.extend(toffoli_gates(x, y, z, decompose=decompose_toffoli))
+        gates.append(Gate("cx", (z, x)))
+        gates.append(Gate("cx", (x, y)))
+
+    n = len(a_qubits)
+    maj(carry_in, b_qubits[0], a_qubits[0])
+    for i in range(1, n):
+        maj(a_qubits[i - 1], b_qubits[i], a_qubits[i])
+    gates.append(Gate("cx", (a_qubits[n - 1], carry_out)))
+    for i in range(n - 1, 0, -1):
+        uma(a_qubits[i - 1], b_qubits[i], a_qubits[i])
+    uma(carry_in, b_qubits[0], a_qubits[0])
+    return gates
+
+
+def ghz_levels(num_qubits: int) -> List[List[Gate]]:
+    """A GHZ state preparation as explicit levels (H then a CX chain)."""
+    levels: List[List[Gate]] = [[Gate("h", (num_qubits - 1,))]]
+    for q in range(num_qubits - 1, 0, -1):
+        levels.append([Gate("cx", (q, q - 1))])
+    return levels

@@ -1,0 +1,135 @@
+"""The benchmark catalog: Table III circuit names -> generator invocations.
+
+Each entry records the circuit family, its qubit count (matching Table III of
+the paper) and the generator call that synthesizes a circuit of comparable
+size and gate mix.  ``build_benchmark(name)`` returns a levelized
+:class:`~repro.core.circuit.Circuit` ready for any of the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+from ..qasm.levelize import levelize, levels_to_circuit
+from . import algorithms as alg
+from . import variational as var
+
+__all__ = [
+    "BenchmarkSpec",
+    "CATALOG",
+    "benchmark_names",
+    "get_benchmark",
+    "build_levels",
+    "build_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of the paper's Table III."""
+
+    name: str
+    description: str
+    qubits: int
+    generator: Callable[..., List[Gate]]
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: gate / CNOT counts reported by the paper (for reference in reports)
+    paper_gates: Optional[int] = None
+    paper_cnots: Optional[int] = None
+    scale: str = "medium"
+
+    def gates(self) -> List[Gate]:
+        return self.generator(self.qubits, **dict(self.kwargs))
+
+    def levels(self) -> List[List[Gate]]:
+        return levelize(self.gates())
+
+    def circuit(self) -> Circuit:
+        return levels_to_circuit(self.qubits, self.levels())
+
+
+def _spec(name, desc, qubits, generator, paper_gates, paper_cnots, scale="medium", **kwargs):
+    return BenchmarkSpec(
+        name=name,
+        description=desc,
+        qubits=qubits,
+        generator=generator,
+        kwargs=tuple(sorted(kwargs.items())),
+        paper_gates=paper_gates,
+        paper_cnots=paper_cnots,
+        scale=scale,
+    )
+
+
+#: The 20 circuits of Table III.
+CATALOG: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("dnn", "Quantum deep neural network", 8, var.deep_neural_network,
+              1200, 384, layers=38),
+        _spec("adder", "Quantum ripple adder", 10, alg.ripple_adder, 142, 65,
+              decompose_toffoli=True),
+        _spec("bb84", "Quantum key distribution", 8, var.bb84, 27, 0),
+        _spec("bv", "Bernstein-Vazirani algorithm", 14, alg.bernstein_vazirani, 41, 13),
+        _spec("ising", "Ising model simulation", 10, var.ising_model, 480, 90, steps=10),
+        _spec("multiplier", "Quantum multiplication", 15, alg.multiplier, 574, 246),
+        _spec("multiplier_35", "3x5 matrix multiplication", 13, alg.multiplier, 98, 40,
+              seed=35),
+        _spec("qaoa", "Approximation optimization", 6, var.qaoa_maxcut, 270, 54,
+              rounds=9),
+        _spec("qf21", "Quantum factorization of 21", 15, alg.shor_factor_21, 311, 115),
+        _spec("qft", "Quantum Fourier transform", 15, alg.quantum_fourier_transform,
+              540, 210, repetitions=1),
+        _spec("qpe", "Quantum phase estimation", 9, alg.phase_estimation, 123, 43),
+        _spec("sat", "Boolean satisfiability solver", 11, alg.grover_sat, 679, 252,
+              iterations=4),
+        _spec("seca", "Shor's error correction", 11, alg.shor_error_correction, 216, 84,
+              rounds=24),
+        _spec("simons", "Simon's algorithm", 6, alg.simons_algorithm, 44, 14),
+        _spec("vqe_uccsd", "Variational quantum eigensolver", 8, var.vqe_uccsd,
+              10808, 5488, excitations=980),
+        _spec("big_adder", "Quantum ripple adder", 18, alg.ripple_adder, 284, 130,
+              scale="large", decompose_toffoli=True),
+        _spec("big_bv", "Bernstein-Vazirani algorithm", 19, alg.bernstein_vazirani,
+              56, 18, scale="large"),
+        _spec("big_cc", "Counterfeit coin finding", 18, alg.counterfeit_coin, 34, 17,
+              scale="large"),
+        _spec("big_ising", "Ising model simulation", 26, var.ising_model, 280, 50,
+              scale="large", steps=2),
+        _spec("big_qft", "Quantum Fourier transform", 20, alg.quantum_fourier_transform,
+              970, 380, scale="large", repetitions=1),
+    ]
+}
+
+
+def benchmark_names(scale: Optional[str] = None) -> List[str]:
+    """Benchmark names, optionally filtered by ``"medium"`` / ``"large"``."""
+    return [
+        name for name, spec in CATALOG.items() if scale is None or spec.scale == scale
+    ]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(CATALOG))}"
+        ) from None
+
+
+def build_levels(name: str, *, num_qubits: Optional[int] = None) -> Tuple[int, List[List[Gate]]]:
+    """Gate levels of a benchmark, optionally re-sized to ``num_qubits``."""
+    spec = get_benchmark(name)
+    qubits = num_qubits or spec.qubits
+    gates = spec.generator(qubits, **dict(spec.kwargs))
+    return qubits, levelize(gates)
+
+
+def build_benchmark(name: str, *, num_qubits: Optional[int] = None) -> Circuit:
+    """A levelized circuit for one of the Table-III benchmarks."""
+    qubits, levels = build_levels(name, num_qubits=num_qubits)
+    return levels_to_circuit(qubits, levels)

@@ -1,0 +1,69 @@
+"""Core qTask machinery: gates, partitions, COW storage, graph, simulator."""
+
+from .blocks import DEFAULT_BLOCK_SIZE, BlockRange, IntervalSet
+from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
+from .cow import BlockStore, InitialStateStore, MemoryReport, StoreChain
+from .exceptions import (
+    CircuitError,
+    ExecutorError,
+    GateArityError,
+    NetDependencyError,
+    QasmSyntaxError,
+    QTaskError,
+    QubitIndexError,
+    StaleHandleError,
+    UnknownGateError,
+)
+from .gates import (
+    Gate,
+    GateSpec,
+    STANDARD_GATE_NAMES,
+    classify_gate,
+    classify_matrix,
+    gate_matrix,
+    is_superposition_gate,
+)
+from .graph import PartitionGraph, PartitionNode
+from .partition import PartitionSpec, derive_partitions, matvec_partitions
+from .simulator import QTaskSimulator, UpdateReport
+from .stage import MatVecStage, Stage, UnitaryStage
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockRange",
+    "IntervalSet",
+    "Circuit",
+    "CircuitObserver",
+    "GateHandle",
+    "NetHandle",
+    "BlockStore",
+    "InitialStateStore",
+    "MemoryReport",
+    "StoreChain",
+    "QTaskError",
+    "CircuitError",
+    "NetDependencyError",
+    "UnknownGateError",
+    "GateArityError",
+    "QubitIndexError",
+    "StaleHandleError",
+    "QasmSyntaxError",
+    "ExecutorError",
+    "Gate",
+    "GateSpec",
+    "STANDARD_GATE_NAMES",
+    "classify_gate",
+    "classify_matrix",
+    "gate_matrix",
+    "is_superposition_gate",
+    "PartitionGraph",
+    "PartitionNode",
+    "PartitionSpec",
+    "derive_partitions",
+    "matvec_partitions",
+    "QTaskSimulator",
+    "UpdateReport",
+    "MatVecStage",
+    "Stage",
+    "UnitaryStage",
+]

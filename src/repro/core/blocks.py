@@ -1,0 +1,199 @@
+"""Block arithmetic and block-range utilities.
+
+qTask divides every state vector into disjoint, equal-size *blocks* whose size
+``B`` is a power of two (§III.C).  Partitions are runs of consecutive blocks,
+and the incremental machinery reasons exclusively in terms of inclusive block
+ranges ``[first, last]``.  This module provides the small but heavily used
+vocabulary for that reasoning: :class:`BlockRange`, interval sets, and the
+range-intersection helpers used by the circuit modifiers (§III.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "validate_block_size",
+    "num_blocks",
+    "block_of",
+    "block_bounds",
+    "BlockRange",
+    "IntervalSet",
+    "ranges_intersect",
+    "intersect_ranges",
+    "merge_overlapping",
+]
+
+#: The paper's default block size (§IV: "The default block size of qTask is 256").
+DEFAULT_BLOCK_SIZE = 256
+
+
+def validate_block_size(block_size: int) -> int:
+    """Check that ``block_size`` is a positive power of two and return it."""
+    b = int(block_size)
+    if b <= 0 or (b & (b - 1)) != 0:
+        raise ValueError(f"block size must be a positive power of two, got {block_size}")
+    return b
+
+
+def num_blocks(dim: int, block_size: int) -> int:
+    """Number of blocks needed to cover a state vector of length ``dim``.
+
+    When ``dim < block_size`` there is a single (short) block; otherwise
+    ``dim`` is always a multiple of the (power-of-two) block size.
+    """
+    if dim <= 0:
+        raise ValueError(f"state dimension must be positive, got {dim}")
+    return max(1, dim // block_size) if dim >= block_size else 1
+
+
+def block_of(index: int, block_size: int) -> int:
+    """Block id containing amplitude ``index``."""
+    return index // block_size
+
+
+def block_bounds(block: int, block_size: int, dim: int) -> Tuple[int, int]:
+    """Inclusive index bounds ``(lo, hi)`` of ``block`` clipped to ``dim``."""
+    lo = block * block_size
+    hi = min(dim, lo + block_size) - 1
+    return lo, hi
+
+
+@dataclass(frozen=True, order=True)
+class BlockRange:
+    """An inclusive range of consecutive block ids ``[first, last]``."""
+
+    first: int
+    last: int
+
+    def __post_init__(self) -> None:
+        if self.first < 0 or self.last < self.first:
+            raise ValueError(f"invalid block range [{self.first}, {self.last}]")
+
+    def __len__(self) -> int:
+        return self.last - self.first + 1
+
+    def __contains__(self, block: int) -> bool:
+        return self.first <= block <= self.last
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.first, self.last + 1))
+
+    def blocks(self) -> range:
+        """The block ids covered by this range."""
+        return range(self.first, self.last + 1)
+
+    def intersects(self, other: "BlockRange") -> bool:
+        return self.first <= other.last and other.first <= self.last
+
+    def intersection(self, other: "BlockRange") -> Optional["BlockRange"]:
+        lo, hi = max(self.first, other.first), min(self.last, other.last)
+        return BlockRange(lo, hi) if lo <= hi else None
+
+    def union_span(self, other: "BlockRange") -> "BlockRange":
+        """Smallest range covering both (used when merging partitions)."""
+        return BlockRange(min(self.first, other.first), max(self.last, other.last))
+
+    def index_bounds(self, block_size: int, dim: int) -> Tuple[int, int]:
+        """Inclusive amplitude-index bounds covered by the range."""
+        lo = self.first * block_size
+        hi = min(dim, (self.last + 1) * block_size) - 1
+        return lo, hi
+
+    def to_tuple(self) -> Tuple[int, int]:
+        return (self.first, self.last)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.first}, {self.last}]"
+
+
+def ranges_intersect(a: BlockRange, b: BlockRange) -> bool:
+    """Range-intersection predicate used throughout §III.D."""
+    return a.intersects(b)
+
+
+def intersect_ranges(a: BlockRange, b: BlockRange) -> Optional[BlockRange]:
+    """The intersection of two block ranges, or ``None`` when disjoint."""
+    return a.intersection(b)
+
+
+def merge_overlapping(ranges: Sequence[BlockRange]) -> List[BlockRange]:
+    """Merge a set of block ranges into maximal disjoint ranges."""
+    if not ranges:
+        return []
+    srt = sorted(ranges, key=lambda r: (r.first, r.last))
+    out: List[BlockRange] = [srt[0]]
+    for r in srt[1:]:
+        cur = out[-1]
+        if r.first <= cur.last + 1:
+            out[-1] = BlockRange(cur.first, max(cur.last, r.last))
+        else:
+            out.append(r)
+    return out
+
+
+class IntervalSet:
+    """A mutable set of block ids stored as disjoint inclusive intervals.
+
+    Used by the backward/forward scans of §III.D ("iteratively move backward
+    and forward to find intersected partitions ... until the remaining blocks
+    become empty"): the *remaining blocks* of the scanned partition are kept
+    here and progressively subtracted as covering partitions are found.
+    """
+
+    def __init__(self, ranges: Iterable[BlockRange] = ()) -> None:
+        self._ranges: List[BlockRange] = merge_overlapping(list(ranges))
+
+    @classmethod
+    def from_range(cls, r: BlockRange) -> "IntervalSet":
+        return cls([r])
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._ranges)
+
+    def __iter__(self) -> Iterator[int]:
+        for r in self._ranges:
+            yield from r
+
+    def ranges(self) -> Tuple[BlockRange, ...]:
+        return tuple(self._ranges)
+
+    def copy(self) -> "IntervalSet":
+        s = IntervalSet()
+        s._ranges = list(self._ranges)
+        return s
+
+    def intersects(self, r: BlockRange) -> bool:
+        return any(x.intersects(r) for x in self._ranges)
+
+    def intersection(self, r: BlockRange) -> List[BlockRange]:
+        out = []
+        for x in self._ranges:
+            i = x.intersection(r)
+            if i is not None:
+                out.append(i)
+        return out
+
+    def add(self, r: BlockRange) -> None:
+        self._ranges = merge_overlapping(self._ranges + [r])
+
+    def subtract(self, r: BlockRange) -> None:
+        """Remove every block in ``r`` from the set."""
+        out: List[BlockRange] = []
+        for x in self._ranges:
+            if not x.intersects(r):
+                out.append(x)
+                continue
+            if x.first < r.first:
+                out.append(BlockRange(x.first, min(x.last, r.first - 1)))
+            if x.last > r.last:
+                out.append(BlockRange(max(x.first, r.last + 1), x.last))
+        self._ranges = out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "{" + ", ".join(str(r) for r in self._ranges) + "}"

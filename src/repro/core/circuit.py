@@ -1,0 +1,288 @@
+"""The circuit programming model: nets, gates and circuit modifiers.
+
+The paper's programming model (§III.B, Table II) asks users to structure
+gates *per net* -- a net is a group of gates that are parallel in structure
+(pairwise disjoint qubits).  The circuit is simply an ordered list of nets.
+:class:`Circuit` is the structural container: it owns the nets and gates,
+validates the net invariant (inserting a dependent gate throws, as in
+Listing 1), and notifies registered observers about every modifier so
+simulators can maintain their incremental state.
+
+Simulation itself lives in :mod:`repro.core.simulator` (qTask) and
+:mod:`repro.baselines` (full re-simulation baselines).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .exceptions import (
+    CircuitError,
+    NetDependencyError,
+    QubitIndexError,
+    StaleHandleError,
+)
+from .gates import Gate
+
+__all__ = ["GateHandle", "NetHandle", "CircuitObserver", "Circuit"]
+
+_handle_counter = itertools.count()
+
+
+class GateHandle:
+    """A live reference to a gate inserted in a circuit."""
+
+    __slots__ = ("uid", "gate", "net", "alive")
+
+    def __init__(self, gate: Gate, net: "NetHandle") -> None:
+        self.uid = next(_handle_counter)
+        self.gate = gate
+        self.net = net
+        self.alive = True
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return self.gate.qubits
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise StaleHandleError(f"gate handle {self!r} refers to a removed gate")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "" if self.alive else " (removed)"
+        return f"<GateHandle #{self.uid} {self.gate}{status}>"
+
+
+class NetHandle:
+    """A live reference to a net (a level of structurally parallel gates)."""
+
+    __slots__ = ("uid", "gates", "alive", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.uid = next(_handle_counter)
+        self.gates: List[GateHandle] = []
+        self.alive = True
+        self.name = name or f"net{self.uid}"
+
+    def qubits_in_use(self) -> set:
+        return {q for h in self.gates for q in h.gate.qubits}
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise StaleHandleError(f"net handle {self!r} refers to a removed net")
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[GateHandle]:
+        return iter(self.gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "" if self.alive else " (removed)"
+        return f"<NetHandle {self.name} gates={len(self.gates)}{status}>"
+
+
+class CircuitObserver:
+    """Interface for objects that track circuit modifications.
+
+    All methods are optional no-ops so observers override only what they need.
+    """
+
+    def on_net_inserted(self, circuit: "Circuit", net: NetHandle, position: int) -> None:
+        pass
+
+    def on_net_removed(self, circuit: "Circuit", net: NetHandle,
+                       removed_gates: Sequence[GateHandle]) -> None:
+        pass
+
+    def on_gate_inserted(self, circuit: "Circuit", handle: GateHandle) -> None:
+        pass
+
+    def on_gate_removed(self, circuit: "Circuit", handle: GateHandle) -> None:
+        pass
+
+
+class Circuit:
+    """An ordered list of nets of structurally parallel gates."""
+
+    def __init__(self, num_qubits: int, *, allow_net_dependencies: bool = False) -> None:
+        if num_qubits <= 0:
+            raise CircuitError(f"number of qubits must be positive, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self._nets: List[NetHandle] = []
+        self._observers: List[CircuitObserver] = []
+        #: when True, the per-net structural-parallelism check is skipped
+        #: (used by tools that build one net per gate and never rely on it)
+        self.allow_net_dependencies = bool(allow_net_dependencies)
+
+    # -- observers ----------------------------------------------------------
+
+    def register_observer(self, observer: CircuitObserver) -> None:
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unregister_observer(self, observer: CircuitObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # -- queries --------------------------------------------------------------
+
+    def qubits(self) -> Tuple[int, ...]:
+        """Qubit indices from most significant to least significant.
+
+        Mirrors Listing 1: ``auto [q4, q3, q2, q1, q0] = ckt.qubits()``.
+        """
+        return tuple(range(self.num_qubits - 1, -1, -1))
+
+    def nets(self) -> List[NetHandle]:
+        return list(self._nets)
+
+    def net_position(self, net: NetHandle) -> int:
+        net._check_alive()
+        try:
+            return self._nets.index(net)
+        except ValueError:
+            raise StaleHandleError(f"net {net!r} does not belong to this circuit") from None
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    @property
+    def num_gates(self) -> int:
+        return sum(len(n.gates) for n in self._nets)
+
+    @property
+    def depth(self) -> int:
+        """Number of non-empty nets (the circuit level/depth of §IV.B)."""
+        return sum(1 for n in self._nets if n.gates)
+
+    def gates(self) -> List[GateHandle]:
+        """All gate handles in net order."""
+        return [h for n in self._nets for h in n.gates]
+
+    def count_gate(self, name: str) -> int:
+        name = name.lower()
+        aliases = {"cnot": "cx", "cx": "cx"}
+        target = aliases.get(name, name)
+        return sum(
+            1
+            for h in self.gates()
+            if h.gate.name == target or h.gate.name == name
+        )
+
+    # -- circuit modifiers: nets ------------------------------------------
+
+    def insert_net(self, after: Optional[NetHandle] = None) -> NetHandle:
+        """Insert a new empty net.
+
+        ``after=None`` appends at the end of the circuit; otherwise the net is
+        inserted right after the given net (the paper's semantics).
+        """
+        net = NetHandle()
+        if after is None:
+            position = len(self._nets)
+        else:
+            position = self.net_position(after) + 1
+        self._nets.insert(position, net)
+        for obs in self._observers:
+            obs.on_net_inserted(self, net, position)
+        return net
+
+    def prepend_net(self) -> NetHandle:
+        """Insert a new empty net at the very front of the circuit."""
+        net = NetHandle()
+        self._nets.insert(0, net)
+        for obs in self._observers:
+            obs.on_net_inserted(self, net, 0)
+        return net
+
+    def remove_net(self, net: NetHandle) -> None:
+        """Remove a net and all its gates from the circuit."""
+        position = self.net_position(net)
+        removed = list(net.gates)
+        # Remove gates first so observers see individual gate removals.
+        for handle in removed:
+            self.remove_gate(handle)
+        self._nets.pop(position)
+        net.alive = False
+        for obs in self._observers:
+            obs.on_net_removed(self, net, removed)
+
+    # -- circuit modifiers: gates -------------------------------------------
+
+    def insert_gate(
+        self,
+        gate: Union[Gate, str],
+        net: NetHandle,
+        *qubits: int,
+        params: Sequence[float] = (),
+    ) -> GateHandle:
+        """Insert a gate into an existing net.
+
+        ``gate`` may be a :class:`~repro.core.gates.Gate` instance or a gate
+        name; in the latter case ``qubits``/``params`` build the instance.
+        Raises :class:`NetDependencyError` if the gate shares a qubit with a
+        gate already present in the net (the paper's structural-parallelism
+        rule), and :class:`QubitIndexError` for out-of-range qubits.
+        """
+        net._check_alive()
+        if net not in self._nets:
+            raise StaleHandleError(f"net {net!r} does not belong to this circuit")
+        if isinstance(gate, str):
+            gate = Gate(gate, tuple(qubits), tuple(params))
+        elif qubits or params:
+            raise CircuitError("pass qubits/params only when giving a gate name")
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise QubitIndexError(
+                    f"qubit {q} out of range for a {self.num_qubits}-qubit circuit"
+                )
+        if not self.allow_net_dependencies:
+            used = net.qubits_in_use()
+            overlap = used.intersection(gate.qubits)
+            if overlap:
+                raise NetDependencyError(
+                    f"gate {gate} would introduce a dependency in net "
+                    f"{net.name}: qubits {sorted(overlap)} already in use"
+                )
+        handle = GateHandle(gate, net)
+        net.gates.append(handle)
+        for obs in self._observers:
+            obs.on_gate_inserted(self, handle)
+        return handle
+
+    def remove_gate(self, handle: GateHandle) -> None:
+        """Remove a gate from its net and the circuit."""
+        handle._check_alive()
+        net = handle.net
+        if handle not in net.gates:
+            raise StaleHandleError(f"gate {handle!r} does not belong to its net")
+        net.gates.remove(handle)
+        handle.alive = False
+        for obs in self._observers:
+            obs.on_gate_removed(self, handle)
+
+    # -- bulk helpers ---------------------------------------------------------
+
+    def append_level(self, gates: Iterable[Gate]) -> Tuple[NetHandle, List[GateHandle]]:
+        """Append a new net containing ``gates`` (convenience for generators)."""
+        net = self.insert_net()
+        handles = [self.insert_gate(g, net) for g in gates]
+        return net, handles
+
+    def from_levels(self, levels: Iterable[Iterable[Gate]]) -> None:
+        """Append one net per level of gates."""
+        for level in levels:
+            self.append_level(level)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit(qubits={self.num_qubits}, nets={self.num_nets}, "
+            f"gates={self.num_gates})"
+        )

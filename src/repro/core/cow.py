@@ -1,0 +1,246 @@
+"""Copy-on-write (COW) block storage for per-stage state vectors.
+
+qTask keeps one state vector per gate stage (the paper calls this *per-net
+state vector management*, §III.F.2) so that incremental update can restart
+from any intermediate result.  Storing every vector densely would be very
+expensive, so each stage only materialises the blocks its partitions actually
+write; every other block is implicitly inherited from the closest preceding
+stage that wrote it (ultimately the |0...0> initial state).  This is the
+*copy-on-write data optimization* of §III.F.3.
+
+The stores themselves do not know about stages -- resolution across stages is
+performed by :class:`StoreChain`, which walks an ordered sequence of stores so
+that removing a stage simply removes its store from the sequence (no dangling
+parent pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .blocks import BlockRange, block_bounds, num_blocks, validate_block_size
+
+__all__ = [
+    "BlockStore",
+    "InitialStateStore",
+    "StoreChain",
+    "MemoryReport",
+]
+
+_DTYPE = np.complex128
+
+
+class BlockStore:
+    """Sparse per-stage storage of state-vector blocks.
+
+    Only blocks written by this stage's partitions are present; everything
+    else resolves to an earlier store through :class:`StoreChain`.
+    """
+
+    def __init__(self, dim: int, block_size: int) -> None:
+        self.dim = int(dim)
+        self.block_size = validate_block_size(block_size)
+        self.n_blocks = num_blocks(self.dim, self.block_size)
+        self._blocks: Dict[int, np.ndarray] = {}
+
+    # -- write side -------------------------------------------------------
+
+    def write_block(self, block: int, values: np.ndarray) -> None:
+        """Store the full contents of ``block`` (copying into owned memory)."""
+        lo, hi = block_bounds(block, self.block_size, self.dim)
+        expected = hi - lo + 1
+        arr = np.asarray(values, dtype=_DTYPE)
+        if arr.shape != (expected,):
+            raise ValueError(
+                f"block {block} expects {expected} amplitudes, got shape {arr.shape}"
+            )
+        self._blocks[block] = np.array(arr, dtype=_DTYPE, copy=True)
+
+    def write_range(self, lo: int, values: np.ndarray) -> None:
+        """Write a block-aligned contiguous range starting at index ``lo``."""
+        if lo % self.block_size != 0:
+            raise ValueError(f"range start {lo} is not block aligned")
+        arr = np.asarray(values, dtype=_DTYPE)
+        offset = 0
+        block = lo // self.block_size
+        while offset < arr.shape[0]:
+            blo, bhi = block_bounds(block, self.block_size, self.dim)
+            size = bhi - blo + 1
+            self.write_block(block, arr[offset : offset + size])
+            offset += size
+            block += 1
+
+    def drop_block(self, block: int) -> None:
+        self._blocks.pop(block, None)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    # -- read side --------------------------------------------------------
+
+    def has_block(self, block: int) -> bool:
+        return block in self._blocks
+
+    def get_block(self, block: int) -> Optional[np.ndarray]:
+        return self._blocks.get(block)
+
+    def stored_blocks(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._blocks))
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def num_stored_blocks(self) -> int:
+        return len(self._blocks)
+
+    def allocated_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockStore(dim={self.dim}, B={self.block_size}, "
+            f"stored={self.num_stored_blocks}/{self.n_blocks})"
+        )
+
+
+class InitialStateStore(BlockStore):
+    """The |0...0> initial state, materialised lazily block by block.
+
+    Block 0 holds amplitude 1 at index 0; all other blocks are zero.  The
+    store never allocates memory unless a block is explicitly requested, so an
+    empty circuit costs (almost) nothing.
+    """
+
+    def __init__(self, dim: int, block_size: int) -> None:
+        super().__init__(dim, block_size)
+
+    def has_block(self, block: int) -> bool:  # every block is defined here
+        return 0 <= block < self.n_blocks
+
+    def get_block(self, block: int) -> np.ndarray:
+        if not 0 <= block < self.n_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.n_blocks})")
+        cached = self._blocks.get(block)
+        if cached is not None:
+            return cached
+        lo, hi = block_bounds(block, self.block_size, self.dim)
+        arr = np.zeros(hi - lo + 1, dtype=_DTYPE)
+        if block == 0:
+            arr[0] = 1.0
+        self._blocks[block] = arr
+        return arr
+
+    def allocated_bytes(self) -> int:
+        # The initial state is conceptually free; cached zero blocks are an
+        # implementation detail and excluded from the accounting.
+        return 0
+
+
+class StoreChain:
+    """Resolve blocks across an ordered sequence of stores.
+
+    ``stores[0]`` is the oldest (usually an :class:`InitialStateStore`) and
+    ``stores[-1]`` the most recent stage.  Reading block ``b`` walks the chain
+    backwards until a store holds ``b``.
+    """
+
+    def __init__(self, stores: Sequence[BlockStore]) -> None:
+        if not stores:
+            raise ValueError("StoreChain needs at least one store")
+        dims = {s.dim for s in stores}
+        sizes = {s.block_size for s in stores}
+        if len(dims) != 1 or len(sizes) != 1:
+            raise ValueError("all stores in a chain must share dim and block size")
+        self._stores: List[BlockStore] = list(stores)
+        self.dim = stores[0].dim
+        self.block_size = stores[0].block_size
+        self.n_blocks = stores[0].n_blocks
+
+    def resolve_block(self, block: int) -> np.ndarray:
+        for store in reversed(self._stores):
+            if store.has_block(block):
+                got = store.get_block(block)
+                assert got is not None
+                return got
+        raise LookupError(f"block {block} resolved by no store in the chain")
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Return amplitudes for the inclusive index range ``[lo, hi]``."""
+        if lo < 0 or hi >= self.dim or lo > hi:
+            raise ValueError(f"invalid index range [{lo}, {hi}] for dim {self.dim}")
+        first = lo // self.block_size
+        last = hi // self.block_size
+        parts = []
+        for b in range(first, last + 1):
+            blo, bhi = block_bounds(b, self.block_size, self.dim)
+            blk = self.resolve_block(b)
+            s = max(lo, blo) - blo
+            e = min(hi, bhi) - blo
+            parts.append(blk[s : e + 1])
+        if len(parts) == 1:
+            return np.array(parts[0], copy=True)
+        return np.concatenate(parts)
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Fancy-indexed read of arbitrary amplitude indices."""
+        idx = np.asarray(indices, dtype=np.int64)
+        out = np.empty(idx.shape, dtype=_DTYPE)
+        if idx.size == 0:
+            return out
+        blocks = idx // self.block_size
+        order = np.argsort(blocks, kind="stable")
+        sorted_idx = idx[order]
+        sorted_blocks = blocks[order]
+        boundaries = np.flatnonzero(np.diff(sorted_blocks)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [idx.size]))
+        for s, e in zip(starts, ends):
+            b = int(sorted_blocks[s])
+            blk = self.resolve_block(b)
+            local = sorted_idx[s:e] - b * self.block_size
+            out[order[s:e]] = blk[local]
+        return out
+
+    def full_vector(self) -> np.ndarray:
+        """Materialise the whole state vector (mostly for queries/tests)."""
+        return self.read_range(0, self.dim - 1)
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Logical memory accounting of a simulator's COW stores."""
+
+    num_stores: int
+    stored_blocks: int
+    total_blocks: int
+    allocated_bytes: int
+    dense_bytes: int
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of dense (non-COW) storage avoided, in [0, 1]."""
+        if self.dense_bytes == 0:
+            return 0.0
+        return 1.0 - self.allocated_bytes / self.dense_bytes
+
+    @property
+    def allocated_gib(self) -> float:
+        return self.allocated_bytes / 2**30
+
+    @staticmethod
+    def from_stores(stores: Iterable[BlockStore]) -> "MemoryReport":
+        stores = list(stores)
+        stored = sum(s.num_stored_blocks for s in stores)
+        total = sum(s.n_blocks for s in stores)
+        alloc = sum(s.allocated_bytes() for s in stores)
+        dense = sum(s.dim * np.dtype(_DTYPE).itemsize for s in stores)
+        return MemoryReport(
+            num_stores=len(stores),
+            stored_blocks=stored,
+            total_blocks=total,
+            allocated_bytes=alloc,
+            dense_bytes=dense,
+        )

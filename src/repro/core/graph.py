@@ -1,0 +1,422 @@
+"""The partition task graph: connectivity, frontiers and incremental scoping.
+
+This module implements §III.D (circuit modifiers) and §III.E (incremental
+update) of the paper:
+
+* every stage contributes *partition nodes* (plus a ``sync`` node for
+  matrix--vector stages);
+* a connection exists between two partitions of different stages when they are
+  the *closest pair of overlapped blocks*; connections are discovered with
+  backward/forward scans driven by a range-intersection algorithm;
+* removing a stage reconnects its predecessors to its successors when their
+  block ranges overlap;
+* a *frontier* list collects the partitions of newly inserted gates and the
+  successors of removed partitions; the set of partitions affected by a
+  sequence of circuit modifiers is everything reachable from the frontiers
+  (depth-first search over successor edges).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
+
+from .blocks import BlockRange, IntervalSet
+from .stage import MatVecStage, Stage
+
+__all__ = ["PartitionNode", "PartitionGraph", "GraphStats"]
+
+_node_counter = itertools.count()
+
+
+class PartitionNode:
+    """A node of the partition graph: one partition (or sync barrier)."""
+
+    __slots__ = (
+        "uid",
+        "stage",
+        "block_range",
+        "num_unit_tasks",
+        "num_units",
+        "is_sync",
+        "preds",
+        "succs",
+    )
+
+    def __init__(
+        self,
+        stage: Stage,
+        block_range: BlockRange,
+        *,
+        num_unit_tasks: int = 1,
+        num_units: int = 0,
+        is_sync: bool = False,
+    ) -> None:
+        self.uid = next(_node_counter)
+        self.stage = stage
+        self.block_range = block_range
+        self.num_unit_tasks = num_unit_tasks
+        self.num_units = num_units
+        self.is_sync = is_sync
+        self.preds: Set["PartitionNode"] = set()
+        self.succs: Set["PartitionNode"] = set()
+
+    # Sync nodes read the whole vector; ordinary partitions read what they write.
+    @property
+    def read_range(self) -> BlockRange:
+        return self.block_range
+
+    @property
+    def write_range(self) -> Optional[BlockRange]:
+        return None if self.is_sync else self.block_range
+
+    def name(self) -> str:
+        base = self.stage.label()
+        if self.is_sync:
+            return f"sync[{base}]"
+        return f"{base} {self.block_range}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PartitionNode({self.name()})"
+
+
+class GraphStats:
+    """Lightweight counters describing the current partition graph."""
+
+    def __init__(self, num_stages: int, num_nodes: int, num_edges: int,
+                 num_frontiers: int) -> None:
+        self.num_stages = num_stages
+        self.num_nodes = num_nodes
+        self.num_edges = num_edges
+        self.num_frontiers = num_frontiers
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "num_stages": self.num_stages,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_frontiers": self.num_frontiers,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphStats(stages={self.num_stages}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, frontiers={self.num_frontiers})"
+        )
+
+
+class PartitionGraph:
+    """Ordered stages, their partition nodes, edges and the frontier list."""
+
+    def __init__(self, full_block_range: BlockRange) -> None:
+        self._stages: List[Stage] = []
+        self._nodes_by_stage: Dict[int, List[PartitionNode]] = {}
+        self._sync_by_stage: Dict[int, Optional[PartitionNode]] = {}
+        self._frontiers: Set[PartitionNode] = set()
+        self._full_range = full_block_range
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def stages(self) -> List[Stage]:
+        return list(self._stages)
+
+    def stage_nodes(self, stage: Stage) -> List[PartitionNode]:
+        """Every node of a stage (sync node first when present)."""
+        nodes = list(self._nodes_by_stage.get(stage.uid, []))
+        sync = self._sync_by_stage.get(stage.uid)
+        return ([sync] if sync is not None else []) + nodes
+
+    def partition_nodes(self, stage: Stage) -> List[PartitionNode]:
+        """Only the writing partitions of a stage (no sync)."""
+        return list(self._nodes_by_stage.get(stage.uid, []))
+
+    def sync_node(self, stage: Stage) -> Optional[PartitionNode]:
+        return self._sync_by_stage.get(stage.uid)
+
+    def all_nodes(self) -> List[PartitionNode]:
+        out: List[PartitionNode] = []
+        for s in self._stages:
+            out.extend(self.stage_nodes(s))
+        return out
+
+    @property
+    def frontiers(self) -> Set[PartitionNode]:
+        return set(self._frontiers)
+
+    def clear_frontiers(self) -> None:
+        self._frontiers.clear()
+
+    def add_frontier(self, node: PartitionNode) -> None:
+        self._frontiers.add(node)
+
+    def num_edges(self) -> int:
+        return sum(len(n.succs) for n in self.all_nodes())
+
+    def stats(self) -> GraphStats:
+        return GraphStats(
+            num_stages=len(self._stages),
+            num_nodes=len(self.all_nodes()),
+            num_edges=self.num_edges(),
+            num_frontiers=len(self._frontiers),
+        )
+
+    def _reindex(self) -> None:
+        for i, s in enumerate(self._stages):
+            s.seq = i
+
+    # ------------------------------------------------------------------
+    # stage insertion
+    # ------------------------------------------------------------------
+
+    def insert_stage(self, stage: Stage, position: int) -> List[PartitionNode]:
+        """Insert ``stage`` at ``position`` in the global order and wire it up.
+
+        Returns the newly created partition nodes (the gate's frontier).
+        """
+        if not 0 <= position <= len(self._stages):
+            raise IndexError(f"stage position {position} out of range")
+        self._stages.insert(position, stage)
+        self._reindex()
+        nodes = self._create_nodes(stage)
+        for node in nodes:
+            if node.is_sync:
+                self._connect_sync(node)
+            else:
+                self._connect_partition(node)
+        # Frontier: all partitions of a newly inserted gate (§III.E).
+        for node in self._nodes_by_stage.get(stage.uid, []):
+            self._frontiers.add(node)
+        return nodes
+
+    def _create_nodes(self, stage: Stage) -> List[PartitionNode]:
+        specs = stage.partition_specs()
+        nodes = [
+            PartitionNode(
+                stage,
+                spec.block_range,
+                num_unit_tasks=spec.num_unit_tasks,
+                num_units=spec.num_units,
+            )
+            for spec in specs
+        ]
+        self._nodes_by_stage[stage.uid] = nodes
+        sync: Optional[PartitionNode] = None
+        if stage.reads_all_blocks() and nodes:
+            sync = PartitionNode(stage, self._full_range, is_sync=True)
+            for n in nodes:
+                sync.succs.add(n)
+                n.preds.add(sync)
+        self._sync_by_stage[stage.uid] = sync
+        created = ([sync] if sync is not None else []) + nodes
+        return created
+
+    # -- connection scans -------------------------------------------------
+
+    def _writers_of(self, stage: Stage) -> List[PartitionNode]:
+        """Nodes of ``stage`` that write blocks (never the sync node)."""
+        return self._nodes_by_stage.get(stage.uid, [])
+
+    def _connect_backward(self, node: PartitionNode, scan_range: BlockRange) -> List[PartitionNode]:
+        """Find and connect the closest preceding writers covering ``scan_range``."""
+        remaining = IntervalSet.from_range(scan_range)
+        preds: List[PartitionNode] = []
+        pos = node.stage.seq
+        for stage in reversed(self._stages[:pos]):
+            if not remaining:
+                break
+            for q in self._writers_of(stage):
+                if remaining and remaining.intersects(q.block_range):
+                    q.succs.add(node)
+                    node.preds.add(q)
+                    preds.append(q)
+                    remaining.subtract(q.block_range)
+            if stage.writes_all_blocks():
+                # a matvec stage rewrites everything: nothing older can be the
+                # closest writer of any still-remaining block
+                break
+        return preds
+
+    def _connect_forward(self, node: PartitionNode, scan_range: BlockRange) -> List[PartitionNode]:
+        """Find and connect the closest following readers of ``scan_range``."""
+        remaining = IntervalSet.from_range(scan_range)
+        succs: List[PartitionNode] = []
+        pos = node.stage.seq
+        for stage in self._stages[pos + 1 :]:
+            if not remaining:
+                break
+            sync = self._sync_by_stage.get(stage.uid)
+            if sync is not None:
+                # the stage reads everything: connect and stop (it also
+                # rewrites every block, shadowing all remaining ones)
+                node.succs.add(sync)
+                sync.preds.add(node)
+                succs.append(sync)
+                break
+            for q in self._writers_of(stage):
+                if remaining and remaining.intersects(q.block_range):
+                    node.succs.add(q)
+                    q.preds.add(node)
+                    succs.append(q)
+                    remaining.subtract(q.block_range)
+        return succs
+
+    def _connect_partition(self, node: PartitionNode) -> None:
+        preds = self._connect_backward(node, node.block_range)
+        succs = self._connect_forward(node, node.block_range)
+        self._prune_transitive(node, preds, succs)
+
+    def _connect_sync(self, node: PartitionNode) -> None:
+        # The sync barrier reads the entire previous state vector.
+        self._connect_backward(node, self._full_range)
+
+    def _prune_transitive(
+        self,
+        node: PartitionNode,
+        preds: Sequence[PartitionNode],
+        succs: Sequence[PartitionNode],
+    ) -> None:
+        """Remove pred->succ edges now mediated by ``node`` (§III.D, Fig. 9).
+
+        An edge A -> C is redundant only when every block of the overlap that
+        justified it is covered by the new node, so ordering A -> node -> C
+        subsumes it.
+        """
+        write = node.write_range
+        if write is None:
+            return
+        succ_set = set(succs)
+        for a in preds:
+            for c in list(a.succs):
+                if c not in succ_set or c is node:
+                    continue
+                overlap = a.block_range.intersection(c.read_range)
+                if overlap is None:
+                    continue
+                if overlap.first >= write.first and overlap.last <= write.last:
+                    a.succs.discard(c)
+                    c.preds.discard(a)
+
+    # ------------------------------------------------------------------
+    # stage removal
+    # ------------------------------------------------------------------
+
+    def remove_stage(self, stage: Stage) -> List[PartitionNode]:
+        """Remove ``stage`` and reconnect around it.
+
+        Returns the *successors* of the removed partitions, which the caller
+        adds to the frontier (§III.E: "for each removed gate, we add all
+        successors of removed partitions to the frontier list").
+        """
+        if stage not in self._stages:
+            raise KeyError(f"stage {stage!r} is not in the graph")
+        removed = self.stage_nodes(stage)
+        removed_set = set(removed)
+        # External neighbourhood of the whole stage: predecessors/successors
+        # that survive the removal.  (Edges internal to the stage -- e.g. the
+        # sync barrier preceding its MxV partitions -- are ignored, otherwise
+        # removing a matvec stage would reconnect nothing.)
+        ext_preds: List[PartitionNode] = []
+        ext_succs: List[PartitionNode] = []
+        for node in removed:
+            ext_preds.extend(p for p in node.preds if p not in removed_set)
+            ext_succs.extend(s for s in node.succs if s not in removed_set)
+        downstream: List[PartitionNode] = list(dict.fromkeys(ext_succs))
+        # Reconnect surviving predecessors to surviving successors when their
+        # blocks overlap (§III.D, Fig. 7).
+        for a in dict.fromkeys(ext_preds):
+            for c in downstream:
+                if a.stage.seq < c.stage.seq and a.block_range.intersects(c.read_range):
+                    a.succs.add(c)
+                    c.preds.add(a)
+        for node in removed:
+            for p in node.preds:
+                p.succs.discard(node)
+            for s in node.succs:
+                s.preds.discard(node)
+            node.preds.clear()
+            node.succs.clear()
+            self._frontiers.discard(node)
+        self._stages.remove(stage)
+        self._nodes_by_stage.pop(stage.uid, None)
+        self._sync_by_stage.pop(stage.uid, None)
+        self._reindex()
+        for node in downstream:
+            self._frontiers.add(node)
+        return downstream
+
+    # ------------------------------------------------------------------
+    # stage refresh (matvec stage gaining/losing a member gate)
+    # ------------------------------------------------------------------
+
+    def touch_stage(self, stage: Stage) -> None:
+        """Mark every partition of ``stage`` as needing recomputation."""
+        for node in self._nodes_by_stage.get(stage.uid, []):
+            self._frontiers.add(node)
+
+    # ------------------------------------------------------------------
+    # incremental scoping
+    # ------------------------------------------------------------------
+
+    def affected_nodes(self) -> List[PartitionNode]:
+        """All nodes reachable from the frontiers (frontiers included).
+
+        The result is returned in a valid topological order: edges only ever
+        point from earlier stages to later stages, so ordering by stage
+        sequence (sync nodes first within a stage) is sufficient.
+        """
+        visited: Set[int] = set()
+        out: List[PartitionNode] = []
+        stack: List[PartitionNode] = list(self._frontiers)
+        for node in stack:
+            visited.add(node.uid)
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            for s in node.succs:
+                if s.uid not in visited:
+                    visited.add(s.uid)
+                    stack.append(s)
+        # When any partition of a matvec stage is affected, the whole stage is
+        # (its blocks are computed from one shared prepared input).
+        extra: List[PartitionNode] = []
+        touched_matvec: Set[int] = set()
+        for node in out:
+            if isinstance(node.stage, MatVecStage):
+                touched_matvec.add(node.stage.uid)
+        for stage_uid in touched_matvec:
+            for node in self._nodes_by_stage.get(stage_uid, []):
+                if node.uid not in visited:
+                    visited.add(node.uid)
+                    extra.append(node)
+            sync = self._sync_by_stage.get(stage_uid)
+            if sync is not None and sync.uid not in visited:
+                visited.add(sync.uid)
+                extra.append(sync)
+        out.extend(extra)
+        out.sort(key=lambda n: (n.stage.seq, 0 if n.is_sync else 1, n.block_range.first))
+        return out
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dot(self, name: str = "qtask") -> str:
+        """GraphViz DOT rendering of the current partition graph."""
+        lines = [f'digraph "{name}" {{', "  rankdir=LR;"]
+        ids: Dict[int, str] = {}
+        for i, node in enumerate(self.all_nodes()):
+            ids[node.uid] = f"n{i}"
+            shape = "ellipse" if node.is_sync else "box"
+            lines.append(f'  n{i} [label="{node.name()}", shape={shape}];')
+        for node in self.all_nodes():
+            for s in node.succs:
+                if s.uid in ids and node.uid in ids:
+                    lines.append(f"  {ids[node.uid]} -> {ids[s.uid]};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def dump(self, stream: TextIO, name: str = "qtask") -> None:
+        stream.write(self.to_dot(name) + "\n")

@@ -1,0 +1,207 @@
+"""Partition derivation: from gate actions to partitioned data blocks.
+
+This module implements the task-decomposition strategy of §III.C.  For a
+non-superposition gate the state-vector indices it touches are grouped into
+*orbit units* (amplitude pairs for permutation gates, single amplitudes for
+diagonal gates).  Units are ordered by their smallest index, chunked into
+*tasks* of ``B`` units (``B`` = block size), and consecutive tasks whose
+memory regions overlap are merged into a single *partition* spanning
+consecutive data blocks -- reproducing the layouts of Fig. 4/5 of the paper
+(e.g. CNOT ``G6`` gives one partition of four blocks with two intra-gate
+tasks, ``G7``/``G8`` give two partitions of two blocks each, ``G9`` two
+partitions of three blocks each).
+
+Superposition gates fall back to the matrix--vector path: one partition per
+data block, preceded by a synchronisation barrier (handled at the graph
+level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .blocks import BlockRange, num_blocks, validate_block_size
+from .gates import Action, DiagonalAction, MatVecAction, MonomialAction
+
+__all__ = [
+    "PartitionSpec",
+    "UnitLayout",
+    "unit_layout_of",
+    "derive_partitions",
+    "matvec_partitions",
+]
+
+#: Guard against accidentally enumerating astronomically many orbit units.
+MAX_ENUMERATED_UNITS = 1 << 26
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A partition: consecutive data blocks plus its intra-gate task count."""
+
+    block_range: BlockRange
+    num_unit_tasks: int
+    num_units: int
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_range)
+
+
+@dataclass(frozen=True)
+class UnitLayout:
+    """Orbit-unit description of a non-superposition action.
+
+    Each entry of ``unit_locals`` is the tuple of local indices forming one
+    orbit unit *type*; instantiating it over all values of the non-gate
+    ("free") qubits yields the concrete units.  ``min_local``/``max_local``
+    are precomputed per type.
+    """
+
+    unit_locals: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def num_types(self) -> int:
+        return len(self.unit_locals)
+
+    def min_locals(self) -> Tuple[int, ...]:
+        return tuple(min(u) for u in self.unit_locals)
+
+    def max_locals(self) -> Tuple[int, ...]:
+        return tuple(max(u) for u in self.unit_locals)
+
+
+def unit_layout_of(action: Action) -> UnitLayout:
+    """Orbit units of a non-superposition action.
+
+    Diagonal actions contribute single-amplitude units for every touched
+    local state; monomial actions contribute one unit per permutation cycle
+    plus single-amplitude units for phase-only fixed points.
+    """
+    if isinstance(action, DiagonalAction):
+        return UnitLayout(tuple((l,) for l in action.touched_locals()))
+    if isinstance(action, MonomialAction):
+        units: List[Tuple[int, ...]] = []
+        in_cycle = set()
+        for cyc in action.orbits():
+            if len(cyc) == 1:
+                units.append(cyc)
+            else:
+                units.append(tuple(sorted(cyc)))
+            in_cycle.update(cyc)
+        return UnitLayout(tuple(units))
+    raise TypeError(
+        f"unit layout is only defined for non-superposition actions, got {type(action)!r}"
+    )
+
+
+def _free_values(qubit_count: int, qubits: Sequence[int]) -> np.ndarray:
+    """All values of the non-gate qubits, deposited into their bit positions.
+
+    The result is sorted ascending because free bit positions are visited in
+    ascending order and the deposit map is therefore monotonic.
+    """
+    free_bits = [b for b in range(qubit_count) if b not in qubits]
+    count = 1 << len(free_bits)
+    base = np.arange(count, dtype=np.int64)
+    vals = np.zeros(count, dtype=np.int64)
+    for j, b in enumerate(free_bits):
+        vals |= ((base >> j) & 1) << b
+    return vals
+
+
+def _deposit_local(local: int, qubits: Sequence[int]) -> int:
+    out = 0
+    for j, q in enumerate(qubits):
+        out |= ((local >> j) & 1) << q
+    return out
+
+
+def derive_partitions(
+    action: Action,
+    qubits: Sequence[int],
+    qubit_count: int,
+    block_size: int,
+) -> List[PartitionSpec]:
+    """Partition layout of a gate on a ``2**qubit_count`` state vector.
+
+    Superposition actions delegate to :func:`matvec_partitions`; identity
+    actions (nothing touched) produce no partitions at all.
+    """
+    block_size = validate_block_size(block_size)
+    dim = 1 << qubit_count
+    if isinstance(action, MatVecAction):
+        return matvec_partitions(qubit_count, block_size)
+
+    layout = unit_layout_of(action)
+    if layout.num_types == 0:
+        return []
+
+    free = _free_values(qubit_count, qubits)
+    n_units = layout.num_types * free.shape[0]
+    if n_units > MAX_ENUMERATED_UNITS:
+        raise MemoryError(
+            f"refusing to enumerate {n_units} orbit units "
+            f"(> {MAX_ENUMERATED_UNITS}); use a larger block size or fewer qubits"
+        )
+
+    mins_parts = []
+    maxs_parts = []
+    for unit in layout.unit_locals:
+        offsets = [_deposit_local(l, qubits) for l in unit]
+        off_min, off_max = min(offsets), max(offsets)
+        mins_parts.append(free | np.int64(off_min))
+        maxs_parts.append(free | np.int64(off_max))
+    mins = np.concatenate(mins_parts)
+    maxs = np.concatenate(maxs_parts)
+    order = np.argsort(mins, kind="stable")
+    mins = mins[order]
+    maxs = maxs[order]
+
+    # Chunk into tasks of `block_size` orbit units.
+    chunk = block_size
+    starts = np.arange(0, n_units, chunk, dtype=np.int64)
+    task_lo = mins[starts]
+    task_hi = np.maximum.reduceat(maxs, starts)
+    # Also the span can never shrink below the largest min inside the chunk.
+    chunk_min_max = np.maximum.reduceat(mins, starts)
+    task_hi = np.maximum(task_hi, chunk_min_max)
+
+    # Merge consecutive tasks whose block regions overlap.
+    first_blocks = task_lo // block_size
+    last_blocks = task_hi // block_size
+    partitions: List[PartitionSpec] = []
+    cur_first = int(first_blocks[0])
+    cur_last = int(last_blocks[0])
+    cur_tasks = 1
+    cur_units = int(min(chunk, n_units))
+    for i in range(1, starts.shape[0]):
+        fb, lb = int(first_blocks[i]), int(last_blocks[i])
+        units_here = int(min(chunk, n_units - starts[i]))
+        if fb <= cur_last:  # block regions overlap (or touch within a block)
+            cur_last = max(cur_last, lb)
+            cur_tasks += 1
+            cur_units += units_here
+        else:
+            partitions.append(
+                PartitionSpec(BlockRange(cur_first, cur_last), cur_tasks, cur_units)
+            )
+            cur_first, cur_last, cur_tasks, cur_units = fb, lb, 1, units_here
+    partitions.append(
+        PartitionSpec(BlockRange(cur_first, cur_last), cur_tasks, cur_units)
+    )
+    return partitions
+
+
+def matvec_partitions(qubit_count: int, block_size: int) -> List[PartitionSpec]:
+    """One single-block partition per data block (the MxV layout of Fig. 4)."""
+    block_size = validate_block_size(block_size)
+    dim = 1 << qubit_count
+    nb = num_blocks(dim, block_size)
+    per_block_units = min(block_size, dim)
+    return [
+        PartitionSpec(BlockRange(b, b), 1, per_block_units) for b in range(nb)
+    ]

@@ -1,0 +1,381 @@
+"""The qTask simulator: incremental, task-parallel state-vector simulation.
+
+:class:`QTaskSimulator` observes a :class:`~repro.core.circuit.Circuit` and
+maintains, across circuit modifiers, the partition task graph of §III.C-D.
+Calling :meth:`QTaskSimulator.update_state` re-simulates exactly the
+partitions affected by the modifiers issued since the previous update (found
+by DFS from the frontier list, §III.E), executing them as a Taskflow-style
+task graph on the configured executor.
+
+The facade class most applications use is :class:`repro.QTask`, which bundles
+a circuit and a simulator behind the paper's Table-II API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+import numpy as np
+
+from ..parallel import Executor, SequentialExecutor, TaskGraph, make_executor
+from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_size
+from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
+from .cow import InitialStateStore, MemoryReport, StoreChain
+from .exceptions import CircuitError
+from .gates import Gate, is_superposition_gate
+from .graph import PartitionGraph, PartitionNode
+from .stage import MatVecStage, Stage, UnitaryStage
+
+__all__ = ["UpdateReport", "QTaskSimulator"]
+
+
+@dataclass
+class UpdateReport:
+    """What one ``update_state`` call did."""
+
+    affected_partitions: int = 0
+    total_partitions: int = 0
+    executed_block_writes: int = 0
+    elapsed_seconds: float = 0.0
+    was_incremental: bool = False
+
+    @property
+    def affected_fraction(self) -> float:
+        if self.total_partitions == 0:
+            return 0.0
+        return self.affected_partitions / self.total_partitions
+
+
+class QTaskSimulator(CircuitObserver):
+    """Incremental task-parallel simulator attached to a circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        executor: Optional[Executor] = None,
+        num_workers: Optional[int] = None,
+        copy_on_write: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.block_size = validate_block_size(block_size)
+        self.copy_on_write = bool(copy_on_write)
+        self.dim = 1 << circuit.num_qubits
+        self.n_blocks = num_blocks(self.dim, self.block_size)
+        if executor is not None and num_workers is not None:
+            raise CircuitError("pass either an executor or num_workers, not both")
+        self._owns_executor = executor is None
+        self.executor: Executor = executor or make_executor(num_workers)
+
+        self._initial = InitialStateStore(self.dim, self.block_size)
+        self.graph = PartitionGraph(BlockRange(0, self.n_blocks - 1))
+
+        #: stages of each net, in within-net order
+        self._net_stages: Dict[int, List[Stage]] = {}
+        #: the (single) matvec stage of each net, when present
+        self._matvec: Dict[int, MatVecStage] = {}
+        #: stage owning each gate handle
+        self._gate_stage: Dict[int, Stage] = {}
+
+        self.last_update: UpdateReport = UpdateReport()
+        self._num_updates = 0
+
+        circuit.register_observer(self)
+        self._sync_existing()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the circuit and release the executor (if owned)."""
+        self.circuit.unregister_observer(self)
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "QTaskSimulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _sync_existing(self) -> None:
+        """Adopt gates already present in the circuit at attach time."""
+        for net in self.circuit.nets():
+            self._net_stages.setdefault(net.uid, [])
+            for handle in net.gates:
+                self.on_gate_inserted(self.circuit, handle)
+
+    # ------------------------------------------------------------------
+    # CircuitObserver callbacks: maintain stages + partition graph
+    # ------------------------------------------------------------------
+
+    def on_net_inserted(self, circuit: Circuit, net: NetHandle, position: int) -> None:
+        self._net_stages.setdefault(net.uid, [])
+
+    def on_net_removed(self, circuit: Circuit, net: NetHandle,
+                       removed_gates: Sequence[GateHandle]) -> None:
+        # Individual gate removals already dismantled the net's stages.
+        self._net_stages.pop(net.uid, None)
+        self._matvec.pop(net.uid, None)
+
+    def on_gate_inserted(self, circuit: Circuit, handle: GateHandle) -> None:
+        net = handle.net
+        stages = self._net_stages.setdefault(net.uid, [])
+        gate = handle.gate
+        if is_superposition_gate(gate):
+            stage = self._matvec.get(net.uid)
+            if stage is not None:
+                stage.add_gate(gate)
+                self._gate_stage[handle.uid] = stage
+                self.graph.touch_stage(stage)
+                return
+            stage = MatVecStage(
+                [gate], circuit.num_qubits, self.block_size, self.copy_on_write
+            )
+            self._matvec[net.uid] = stage
+            within = 0  # the matvec stage always leads its net
+            self._insert_stage(handle, net, stage, stages, within)
+            return
+        stage = UnitaryStage(
+            gate, circuit.num_qubits, self.block_size, self.copy_on_write
+        )
+        within = self._heuristic_position(stages, stage)
+        self._insert_stage(handle, net, stage, stages, within)
+
+    def _heuristic_position(self, stages: List[Stage], new_stage: UnitaryStage) -> int:
+        """Within-net position: matvec first, then ascending block count.
+
+        The paper connects a net's non-superposition gates "in an increasing
+        order of block count in partitions" so large partitions (which fan out
+        widely) are deferred.  New stages are placed at their sorted position
+        without reordering existing stages.
+        """
+        start = 0
+        if stages and isinstance(stages[0], MatVecStage):
+            start = 1
+        new_count = new_stage.total_block_count()
+        for i in range(start, len(stages)):
+            other = stages[i]
+            if isinstance(other, UnitaryStage) and other.total_block_count() > new_count:
+                return i
+        return len(stages)
+
+    def _insert_stage(
+        self,
+        handle: GateHandle,
+        net: NetHandle,
+        stage: Stage,
+        stages: List[Stage],
+        within: int,
+    ) -> None:
+        stages.insert(within, stage)
+        position = self._global_position(net, within)
+        self.graph.insert_stage(stage, position)
+        self._gate_stage[handle.uid] = stage
+
+    def _global_position(self, net: NetHandle, within: int) -> int:
+        pos = 0
+        for n in self.circuit.nets():
+            if n is net:
+                return pos + within
+            pos += len(self._net_stages.get(n.uid, []))
+        # net not found (should not happen): append at the end
+        return pos + within
+
+    def on_gate_removed(self, circuit: Circuit, handle: GateHandle) -> None:
+        stage = self._gate_stage.pop(handle.uid, None)
+        if stage is None:
+            return
+        net = handle.net
+        if isinstance(stage, MatVecStage):
+            stage.remove_gate(handle.gate)
+            if not stage.is_empty:
+                self.graph.touch_stage(stage)
+                return
+            self._matvec.pop(net.uid, None)
+        stages = self._net_stages.get(net.uid, [])
+        if stage in stages:
+            stages.remove(stage)
+        self.graph.remove_stage(stage)
+
+    # ------------------------------------------------------------------
+    # state update (full or incremental)
+    # ------------------------------------------------------------------
+
+    def update_state(self) -> UpdateReport:
+        """Re-simulate every partition affected by modifiers since last call.
+
+        With copy-on-write disabled (the §IV.F ablation) every stage
+        materialises -- and therefore depends on -- the entire previous state
+        vector, so incremental scoping is not sound and every update
+        re-simulates all partitions.  COW is precisely what makes scoped
+        updates possible.
+        """
+        start = time.perf_counter()
+        if self.copy_on_write:
+            affected = self.graph.affected_nodes()
+        else:
+            affected = sorted(
+                self.graph.all_nodes(),
+                key=lambda n: (n.stage.seq, 0 if n.is_sync else 1, n.block_range.first),
+            )
+            if not self.graph.frontiers and self._num_updates > 0:
+                affected = []
+        total_nodes = len(self.graph.all_nodes())
+        report = UpdateReport(
+            affected_partitions=len(affected),
+            total_partitions=total_nodes,
+            was_incremental=self._num_updates > 0,
+        )
+        if affected:
+            report.executed_block_writes = self._execute(affected)
+        self.graph.clear_frontiers()
+        report.elapsed_seconds = time.perf_counter() - start
+        self.last_update = report
+        self._num_updates += 1
+        return report
+
+    def _reader_for(self, stage: Stage, stage_order: List[Stage]) -> StoreChain:
+        stores = [self._initial] + [s.store for s in stage_order[: stage.seq]]
+        return StoreChain(stores)
+
+    def _execute(self, affected: List[PartitionNode]) -> int:
+        stage_order = self.graph.stages
+        if not self.copy_on_write:
+            # Dense mode re-simulates everything: drop previously materialised
+            # blocks so no stale copy can shadow the recomputation.
+            for stage in stage_order:
+                stage.store.clear()
+        readers: Dict[int, StoreChain] = {}
+        for node in affected:
+            if node.stage.uid not in readers:
+                readers[node.stage.uid] = self._reader_for(node.stage, stage_order)
+
+        graph = TaskGraph("update_state")
+        tasks: Dict[int, object] = {}
+        block_writes = 0
+
+        for node in affected:
+            reader = readers[node.stage.uid]
+            if node.is_sync:
+                task = graph.emplace(
+                    self._make_sync_body(node, reader), name=node.name()
+                )
+            else:
+                task = graph.emplace(
+                    self._make_partition_body(node, reader), name=node.name()
+                )
+                block_writes += len(node.block_range)
+            tasks[node.uid] = task
+
+        affected_ids = set(tasks)
+        for node in affected:
+            for succ in node.succs:
+                if succ.uid in affected_ids:
+                    tasks[node.uid].precede(tasks[succ.uid])
+
+        self.executor.run(graph)
+
+        if not self.copy_on_write:
+            block_writes += self._fill_dense_blocks(affected, readers)
+        return block_writes
+
+    def _make_sync_body(self, node: PartitionNode, reader: StoreChain):
+        stage = node.stage
+
+        def body():
+            stage.prepare(reader)
+
+        return body
+
+    def _make_partition_body(self, node: PartitionNode, reader: StoreChain):
+        stage = node.stage
+        block_range = node.block_range
+
+        def body():
+            return stage.block_tasks(reader, block_range)
+
+        return body
+
+    def _fill_dense_blocks(
+        self,
+        affected: List[PartitionNode],
+        readers: Dict[int, StoreChain],
+    ) -> int:
+        """In non-COW mode every affected stage materialises its full vector.
+
+        Blocks a stage's partitions did not write are copied from the stage
+        input *after* the task graph ran, in ascending stage order, so that a
+        fill never captures a value an earlier affected stage had yet to
+        produce.
+        """
+        added = 0
+        seen_stages: Dict[int, Stage] = {}
+        covered: Dict[int, set] = {}
+        for node in affected:
+            if node.is_sync:
+                continue
+            seen_stages[node.stage.uid] = node.stage
+            covered.setdefault(node.stage.uid, set()).update(node.block_range.blocks())
+        for uid, stage in sorted(seen_stages.items(), key=lambda kv: kv[1].seq):
+            reader = readers[uid]
+            for b in range(stage.n_blocks):
+                if b in covered[uid]:
+                    continue
+                stage.store.write_block(b, reader.resolve_block(b))
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _full_chain(self) -> StoreChain:
+        stores = [self._initial] + [s.store for s in self.graph.stages]
+        return StoreChain(stores)
+
+    def state(self) -> np.ndarray:
+        """The full state vector after the last ``update_state`` call."""
+        return self._full_chain().full_vector()
+
+    def amplitude(self, basis_state: int) -> complex:
+        if not 0 <= basis_state < self.dim:
+            raise IndexError(f"basis state {basis_state} out of range")
+        chain = self._full_chain()
+        return complex(chain.read_range(basis_state, basis_state)[0])
+
+    def probabilities(self) -> np.ndarray:
+        amps = self.state()
+        return (amps.conj() * amps).real
+
+    def probability(self, basis_state: int) -> float:
+        a = self.amplitude(basis_state)
+        return float((a.conjugate() * a).real)
+
+    def norm(self) -> float:
+        return float(np.sqrt(self.probabilities().sum()))
+
+    def memory_report(self) -> MemoryReport:
+        return MemoryReport.from_stores(s.store for s in self.graph.stages)
+
+    def statistics(self) -> Dict[str, object]:
+        stats = self.graph.stats().as_dict()
+        stats.update(
+            {
+                "block_size": self.block_size,
+                "num_updates": self._num_updates,
+                "num_workers": self.executor.num_workers,
+                "copy_on_write": self.copy_on_write,
+                "last_affected_partitions": self.last_update.affected_partitions,
+                "last_elapsed_seconds": self.last_update.elapsed_seconds,
+            }
+        )
+        return stats
+
+    def dump_graph(self, stream: TextIO) -> None:
+        """Write the current partition task graph in DOT format."""
+        self.graph.dump(stream)

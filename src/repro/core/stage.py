@@ -1,0 +1,277 @@
+"""Stages: the unit of per-net state-vector management.
+
+The paper keeps several state vectors per net (§III.F.2): superposition gates
+of a net are grouped into one matrix--vector *stage* that owns a state vector,
+and every non-superposition gate of the net gets its own stage/state vector.
+A stage owns
+
+* the gate(s) it applies,
+* its partition layout (:mod:`repro.core.partition`),
+* its copy-on-write block store (:mod:`repro.core.cow`), and
+* the numpy kernels that compute a partition's output blocks.
+
+Stages know nothing about graph connectivity or scheduling; that is the job of
+:mod:`repro.core.graph` and :mod:`repro.core.simulator`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .blocks import BlockRange, block_bounds, num_blocks
+from .cow import BlockStore, StoreChain
+from .gates import Action, Gate, MatVecAction, classify_matrix
+from .kernels import apply_action_range, apply_gate_dense, apply_matrix_dense
+from .partition import PartitionSpec, derive_partitions, matvec_partitions
+
+__all__ = ["Stage", "UnitaryStage", "MatVecStage", "MATVEC_COMBINE_LIMIT"]
+
+#: Compute MxV partitions directly from the combined operator's matrix rows
+#: (the paper's "derive its subset of matrix rows on the fly") only when the
+#: combined operator acts on at most this many qubits.  The default of 0 means
+#: the faster prepared path (sequential reshape contraction over the full
+#: input, then per-block stores) is always used -- in Python the row-gather
+#: path is dominated by per-call overhead.  Tests exercise both paths via the
+#: ``combine_limit`` constructor argument (see DESIGN.md "Notes on fidelity").
+MATVEC_COMBINE_LIMIT = 0
+
+_stage_counter = itertools.count()
+
+
+class Stage:
+    """Base class: one state vector plus the gate work writing into it."""
+
+    kind: str = "stage"
+
+    def __init__(self, qubit_count: int, block_size: int, copy_on_write: bool = True) -> None:
+        self.uid = next(_stage_counter)
+        self.qubit_count = qubit_count
+        self.dim = 1 << qubit_count
+        self.block_size = block_size
+        self.copy_on_write = copy_on_write
+        self.store = BlockStore(self.dim, block_size)
+        self.n_blocks = num_blocks(self.dim, block_size)
+        #: sequence index in the simulator's global stage order (maintained
+        #: externally by the partition graph)
+        self.seq: int = -1
+
+    # -- interface ----------------------------------------------------------
+
+    def partition_specs(self) -> List[PartitionSpec]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def gate_list(self) -> Tuple[Gate, ...]:
+        raise NotImplementedError
+
+    def writes_all_blocks(self) -> bool:
+        """True when executing this stage rewrites the whole state vector."""
+        return False
+
+    def reads_all_blocks(self) -> bool:
+        """True when this stage's input is the whole previous state vector."""
+        return False
+
+    def block_tasks(
+        self, reader: StoreChain, block_range: BlockRange
+    ) -> List[Callable[[], None]]:
+        """Callables that compute and store the blocks of one partition."""
+        raise NotImplementedError
+
+    def prepare(self, reader: StoreChain) -> None:
+        """Hook executed once per update before the stage's block tasks."""
+
+    # -- helpers --------------------------------------------------------------
+
+    def write_full(self, vector: np.ndarray) -> None:
+        """Store an entire state vector (used by non-COW mode and matvec)."""
+        for b in range(self.n_blocks):
+            lo, hi = block_bounds(b, self.block_size, self.dim)
+            self.store.write_block(b, vector[lo : hi + 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.label()}, seq={self.seq})"
+
+
+class UnitaryStage(Stage):
+    """A single non-superposition gate (permutation or diagonal action)."""
+
+    kind = "unitary"
+
+    def __init__(
+        self,
+        gate: Gate,
+        qubit_count: int,
+        block_size: int,
+        copy_on_write: bool = True,
+    ) -> None:
+        super().__init__(qubit_count, block_size, copy_on_write)
+        self.gate = gate
+        self.action: Action = gate.action()
+        if self.action.creates_superposition:
+            raise ValueError(
+                f"gate {gate} creates superposition; it belongs in a MatVecStage"
+            )
+        self._specs = derive_partitions(
+            self.action, gate.qubits, qubit_count, block_size
+        )
+
+    def partition_specs(self) -> List[PartitionSpec]:
+        return list(self._specs)
+
+    def label(self) -> str:
+        return str(self.gate)
+
+    def gate_list(self) -> Tuple[Gate, ...]:
+        return (self.gate,)
+
+    def total_block_count(self) -> int:
+        """Total number of blocks over all partitions (net-ordering heuristic)."""
+        return sum(len(s.block_range) for s in self._specs)
+
+    def block_tasks(self, reader: StoreChain, block_range: BlockRange):
+        gate = self.gate
+        action = self.action
+        store = self.store
+        block_size = self.block_size
+        dim = self.dim
+
+        def make(b: int):
+            def body() -> None:
+                lo, hi = block_bounds(b, block_size, dim)
+                out = apply_action_range(reader, lo, hi, gate.qubits, action)
+                store.write_block(b, out)
+
+            return body
+
+        return [make(b) for b in block_range.blocks()]
+
+
+class MatVecStage(Stage):
+    """All superposition gates of one net, applied via matrix--vector product.
+
+    Gates in a net act on disjoint qubits (the net invariant), so the combined
+    operator is a tensor product.  For small combined arity the stage exposes
+    the combined matrix and each partition computes its output block directly
+    from the matrix rows (the paper's MxV tasks); for larger arity the stage's
+    ``prepare`` hook applies the gates sequentially to the full input vector
+    with the dense reshape kernel, and the block tasks merely store slices.
+    """
+
+    kind = "matvec"
+
+    def __init__(
+        self,
+        gates: Sequence[Gate],
+        qubit_count: int,
+        block_size: int,
+        copy_on_write: bool = True,
+        combine_limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(qubit_count, block_size, copy_on_write)
+        self.gates: List[Gate] = []
+        self._prepared: Optional[np.ndarray] = None
+        self.combine_limit = (
+            MATVEC_COMBINE_LIMIT if combine_limit is None else int(combine_limit)
+        )
+        for g in gates:
+            self.add_gate(g)
+
+    # -- gate membership (a matvec stage can gain/lose gates incrementally) --
+
+    def add_gate(self, gate: Gate) -> None:
+        used = {q for g in self.gates for q in g.qubits}
+        if used.intersection(gate.qubits):
+            raise ValueError(
+                f"gate {gate} overlaps qubits already used in this net's "
+                "superposition group"
+            )
+        self.gates.append(gate)
+
+    def remove_gate(self, gate: Gate) -> None:
+        self.gates.remove(gate)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.gates
+
+    def combined_qubits(self) -> Tuple[int, ...]:
+        out: List[int] = []
+        for g in self.gates:
+            out.extend(g.qubits)
+        return tuple(out)
+
+    def combined_matrix(self) -> np.ndarray:
+        """Tensor product of the member gates (later gates = slower bits)."""
+        mat = np.eye(1, dtype=complex)
+        for g in self.gates:
+            mat = np.kron(g.matrix(), mat)
+        return mat
+
+    # -- Stage interface ------------------------------------------------------
+
+    def partition_specs(self) -> List[PartitionSpec]:
+        if self.is_empty:
+            return []
+        return matvec_partitions(self.qubit_count, self.block_size)
+
+    def label(self) -> str:
+        return "MxV{" + ",".join(str(g) for g in self.gates) + "}"
+
+    def gate_list(self) -> Tuple[Gate, ...]:
+        return tuple(self.gates)
+
+    def writes_all_blocks(self) -> bool:
+        return not self.is_empty
+
+    def reads_all_blocks(self) -> bool:
+        return not self.is_empty
+
+    def _use_combined(self) -> bool:
+        return len(self.combined_qubits()) <= self.combine_limit
+
+    def prepare(self, reader: StoreChain) -> None:
+        """Materialise the full output when the combined operator is too wide."""
+        self._prepared = None
+        if self.is_empty or self._use_combined():
+            return
+        state = reader.full_vector()
+        for g in self.gates:
+            state = apply_gate_dense(state, g, self.qubit_count)
+        self._prepared = state
+
+    def block_tasks(self, reader: StoreChain, block_range: BlockRange):
+        store = self.store
+        block_size = self.block_size
+        dim = self.dim
+
+        if self._prepared is not None:
+            prepared = self._prepared
+
+            def make_copy(b: int):
+                def body() -> None:
+                    lo, hi = block_bounds(b, block_size, dim)
+                    store.write_block(b, prepared[lo : hi + 1])
+
+                return body
+
+            return [make_copy(b) for b in block_range.blocks()]
+
+        qubits = self.combined_qubits()
+        matrix = self.combined_matrix()
+        action = MatVecAction(num_qubits=len(qubits), matrix=matrix)
+
+        def make(b: int):
+            def body() -> None:
+                lo, hi = block_bounds(b, block_size, dim)
+                out = apply_action_range(reader, lo, hi, qubits, action)
+                store.write_block(b, out)
+
+            return body
+
+        return [make(b) for b in block_range.blocks()]

@@ -1,0 +1,285 @@
+"""Executors: sequential and work-stealing execution of task graphs.
+
+The :class:`WorkStealingExecutor` reproduces the execution model qTask gets
+from Taskflow (§III.F.1): a fixed pool of worker threads, per-worker deques
+with stealing, dependency counters released as predecessors complete, and
+subflows (dynamically spawned tasks joined back into their parent).  The
+:class:`SequentialExecutor` runs the same graphs deterministically on the
+calling thread and doubles as the one-core data point in the scalability
+experiments (Figs. 17/18).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.exceptions import ExecutorError
+from .taskgraph import Task, TaskGraph
+from .workqueue import StealScheduler
+
+__all__ = [
+    "Executor",
+    "SequentialExecutor",
+    "WorkStealingExecutor",
+    "make_executor",
+]
+
+
+class Executor(ABC):
+    """Common interface: run a task graph, or map a function over items."""
+
+    #: number of worker threads (1 for the sequential executor)
+    num_workers: int = 1
+
+    @abstractmethod
+    def run(self, graph: TaskGraph) -> None:
+        """Execute every task of ``graph`` respecting its dependencies."""
+
+    @abstractmethod
+    def map(self, fn: Callable[[object], object], items: Sequence[object]) -> List[object]:
+        """Apply ``fn`` to every item (possibly in parallel), keeping order."""
+
+    def close(self) -> None:  # pragma: no cover - optional
+        """Release executor resources (no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialExecutor(Executor):
+    """Deterministic single-threaded executor."""
+
+    num_workers = 1
+
+    def run(self, graph: TaskGraph) -> None:
+        graph.validate()
+        order = graph.topological_order()
+        for task in order:
+            sub = task.run()
+            # Subflow: run spawned callables immediately (depth-first join).
+            stack = list(sub or [])
+            while stack:
+                fn = stack.pop()
+                result = fn()
+                if callable(result):
+                    stack.append(result)
+                elif isinstance(result, (list, tuple)) and all(
+                    callable(c) for c in result
+                ):
+                    stack.extend(result)
+
+    def map(self, fn, items):
+        return [fn(x) for x in items]
+
+
+class _RunState:
+    """Bookkeeping for one ``run`` invocation of the work-stealing executor."""
+
+    __slots__ = ("pending", "lock", "done", "error")
+
+    def __init__(self, total: int) -> None:
+        self.pending = total
+        self.lock = threading.Lock()
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def task_finished(self, count: int = 1) -> None:
+        with self.lock:
+            self.pending -= count
+            finished = self.pending <= 0
+        if finished:
+            self.done.set()
+
+    def task_added(self, count: int = 1) -> None:
+        with self.lock:
+            self.pending += count
+
+    def fail(self, exc: BaseException) -> None:
+        with self.lock:
+            self.error = self.error or exc
+        self.done.set()
+
+
+class _Work:
+    """A schedulable unit: either a graph task or a subflow callable."""
+
+    __slots__ = ("fn", "task", "parent")
+
+    def __init__(self, fn, task: Optional[Task] = None, parent: Optional["_Join"] = None):
+        self.fn = fn
+        self.task = task
+        self.parent = parent
+
+
+class _Join:
+    """Join counter for a subflow: releases the parent task's successors."""
+
+    __slots__ = ("remaining", "lock", "on_done")
+
+    def __init__(self, remaining: int, on_done: Callable[[], None]) -> None:
+        self.remaining = remaining
+        self.lock = threading.Lock()
+        self.on_done = on_done
+
+    def child_done(self) -> None:
+        with self.lock:
+            self.remaining -= 1
+            fire = self.remaining == 0
+        if fire:
+            self.on_done()
+
+
+class WorkStealingExecutor(Executor):
+    """Thread-pool executor with per-worker deques and random stealing."""
+
+    def __init__(self, num_workers: Optional[int] = None, *, spin_sleep: float = 5e-5) -> None:
+        cpu = os.cpu_count() or 1
+        self.num_workers = max(1, int(num_workers) if num_workers else cpu)
+        self._spin_sleep = spin_sleep
+        self._scheduler: StealScheduler[_Work] = StealScheduler(self.num_workers)
+        self._wakeup = threading.Condition()
+        self._shutdown = False
+        self._state: Optional[_RunState] = None
+        self._local = threading.local()
+        self._threads: List[threading.Thread] = []
+        for i in range(self.num_workers):
+            t = threading.Thread(target=self._worker_loop, args=(i,), daemon=True,
+                                 name=f"qtask-worker-{i}")
+            t.start()
+            self._threads.append(t)
+
+    # -- worker machinery ---------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        self._local.worker_id = worker_id
+        rng = [worker_id * 2654435761 + 1]
+        while True:
+            work = self._scheduler.take(worker_id, rng)
+            if work is None:
+                with self._wakeup:
+                    if self._shutdown:
+                        return
+                    if self._scheduler.outstanding() == 0:
+                        self._wakeup.wait(timeout=0.05)
+                if self._shutdown:
+                    return
+                continue
+            self._execute(work, worker_id)
+
+    def _submit(self, work: _Work, worker: Optional[int] = None) -> None:
+        self._scheduler.push(work, worker)
+        with self._wakeup:
+            self._wakeup.notify()
+
+    def _execute(self, work: _Work, worker_id: int) -> None:
+        state = self._state
+        try:
+            if work.task is not None:
+                sub = work.task.run()
+                if sub:
+                    self._spawn_subflow(work.task, list(sub), state, worker_id)
+                else:
+                    self._release_successors(work.task, state, worker_id)
+            else:
+                result = work.fn() if work.fn is not None else None
+                extra: List[Callable] = []
+                if callable(result):
+                    extra = [result]
+                elif isinstance(result, (list, tuple)) and all(callable(c) for c in result):
+                    extra = list(result)
+                if extra and work.parent is not None:
+                    # nested subflow: children join the same parent
+                    work.parent.remaining += len(extra)
+                    if state:
+                        state.task_added(len(extra))
+                    for fn in extra:
+                        self._submit(_Work(fn, parent=work.parent), worker_id)
+                if work.parent is not None:
+                    work.parent.child_done()
+        except BaseException as exc:  # propagate to the waiting run() caller
+            if state is not None:
+                state.fail(exc)
+            return
+        if state is not None:
+            state.task_finished()
+
+    def _spawn_subflow(self, task: Task, children: List[Callable], state, worker_id: int) -> None:
+        if state:
+            state.task_added(len(children))
+        join = _Join(len(children), lambda: self._release_successors(task, state, worker_id))
+        for fn in children:
+            self._submit(_Work(fn, parent=join), worker_id)
+
+    def _release_successors(self, task: Task, state, worker_id: int) -> None:
+        run_deps: Dict[int, int] = self._run_deps
+        for succ in task.successors:
+            with self._deps_lock:
+                run_deps[succ.uid] -= 1
+                ready = run_deps[succ.uid] == 0
+            if ready:
+                self._submit(_Work(None, task=succ), worker_id)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> None:
+        graph.validate()
+        tasks = graph.tasks
+        if not tasks:
+            return
+        if self._state is not None:
+            raise ExecutorError("executor already running a graph (not reentrant)")
+        self._run_deps = {t.uid: len(t.predecessors) for t in tasks}
+        self._deps_lock = threading.Lock()
+        state = _RunState(len(tasks))
+        self._state = state
+        try:
+            roots = [t for t in tasks if not t.predecessors]
+            for i, t in enumerate(roots):
+                self._submit(_Work(None, task=t), i % self.num_workers)
+            state.done.wait()
+            if state.error is not None:
+                raise state.error
+        finally:
+            self._state = None
+
+    def map(self, fn, items):
+        items = list(items)
+        if not items:
+            return []
+        results: List[object] = [None] * len(items)
+        graph = TaskGraph("map")
+        for i, item in enumerate(items):
+            def make(i=i, item=item):
+                def body():
+                    results[i] = fn(item)
+                return body
+            graph.emplace(make(), name=f"map-{i}")
+        self.run(graph)
+        return results
+
+    def close(self) -> None:
+        with self._wakeup:
+            self._shutdown = True
+            self._wakeup.notify_all()
+        for t in self._threads:
+            t.join(timeout=1.0)
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(num_workers: Optional[int] = None) -> Executor:
+    """Executor factory: 0/1 workers -> sequential, otherwise work stealing."""
+    if num_workers is not None and num_workers <= 1:
+        return SequentialExecutor()
+    return WorkStealingExecutor(num_workers)

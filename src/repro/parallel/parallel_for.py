@@ -1,0 +1,40 @@
+"""Chunked parallel-for helper.
+
+The paper describes intra-gate operation parallelism as "a parallel-for with
+chunk size equal to our block size" (§III.C).  :func:`parallel_for` provides
+exactly that: it splits an index space into chunks and maps a function over
+the chunks with the given executor (or serially when no executor / a
+sequential executor is supplied).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .executor import Executor, SequentialExecutor
+
+__all__ = ["chunk_indices", "parallel_for"]
+
+
+def chunk_indices(total: int, chunk: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``(start, stop)`` chunks of size ``chunk``."""
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    return [(s, min(total, s + chunk)) for s in range(0, total, chunk)]
+
+
+def parallel_for(
+    fn: Callable[[int, int], object],
+    total: int,
+    chunk: int,
+    executor: Optional[Executor] = None,
+) -> None:
+    """Apply ``fn(start, stop)`` over chunked sub-ranges of ``range(total)``."""
+    chunks = chunk_indices(total, chunk)
+    if executor is None or isinstance(executor, SequentialExecutor) or len(chunks) <= 1:
+        for s, e in chunks:
+            fn(s, e)
+        return
+    executor.map(lambda se: fn(se[0], se[1]), chunks)

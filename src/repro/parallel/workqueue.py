@@ -1,0 +1,97 @@
+"""Work-stealing deques used by :class:`~repro.parallel.executor.WorkStealingExecutor`.
+
+Each worker owns a :class:`WorkDeque`; the owner pushes/pops at the bottom
+(LIFO, good cache locality for freshly spawned subtasks) while thieves steal
+from the top (FIFO, taking the oldest -- usually largest -- work first).  A
+coarse lock per deque keeps the implementation simple and correct; contention
+is negligible because steal attempts are rare compared to numpy kernel time.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Generic, List, Optional, TypeVar
+
+__all__ = ["WorkDeque", "StealScheduler"]
+
+T = TypeVar("T")
+
+
+class WorkDeque(Generic[T]):
+    """A lock-protected double-ended work queue."""
+
+    def __init__(self) -> None:
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+
+    def push(self, item: T) -> None:
+        """Owner-side push (bottom)."""
+        with self._lock:
+            self._items.append(item)
+
+    def pop(self) -> Optional[T]:
+        """Owner-side pop (bottom, LIFO)."""
+        with self._lock:
+            if self._items:
+                return self._items.pop()
+        return None
+
+    def steal(self) -> Optional[T]:
+        """Thief-side steal (top, FIFO)."""
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class StealScheduler(Generic[T]):
+    """A set of per-worker deques plus an overflow queue for external pushes."""
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = num_workers
+        self._deques: List[WorkDeque[T]] = [WorkDeque() for _ in range(num_workers)]
+        self._external: WorkDeque[T] = WorkDeque()
+
+    def push(self, item: T, worker: Optional[int] = None) -> None:
+        """Push work, preferring the submitting worker's own deque."""
+        if worker is None or not (0 <= worker < self.num_workers):
+            self._external.push(item)
+        else:
+            self._deques[worker].push(item)
+
+    def take(self, worker: int, rng_state: List[int]) -> Optional[T]:
+        """Pop own work, then try the external queue, then steal from victims.
+
+        ``rng_state`` is a one-element list holding a cheap linear-congruential
+        state so victim selection is scattered without importing ``random`` in
+        the hot path.
+        """
+        item = self._deques[worker].pop()
+        if item is not None:
+            return item
+        item = self._external.steal()
+        if item is not None:
+            return item
+        n = self.num_workers
+        if n <= 1:
+            return None
+        state = rng_state[0]
+        for _ in range(n - 1):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            victim = state % n
+            if victim == worker:
+                victim = (victim + 1) % n
+            item = self._deques[victim].steal()
+            if item is not None:
+                rng_state[0] = state
+                return item
+        rng_state[0] = state
+        return None
+
+    def outstanding(self) -> int:
+        return len(self._external) + sum(len(d) for d in self._deques)

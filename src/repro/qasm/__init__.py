@@ -1,0 +1,27 @@
+"""OpenQASM 2.0 substrate: parser, levelizer and writer.
+
+The paper evaluates qTask on QASMBench, a suite of OpenQASM circuits.  This
+package provides the substrate needed to consume such files offline:
+
+* :func:`~repro.qasm.parser.parse_qasm` -- parse an OpenQASM 2.0 subset
+  (qelib1 standard gates, user gate definitions with macro expansion, qreg /
+  creg, barrier / measure / reset are accepted and ignored) into a flat list
+  of :class:`~repro.core.gates.Gate` operations;
+* :func:`~repro.qasm.levelize.levelize` -- ASAP-schedule a gate list into
+  *nets* of structurally parallel gates (the paper constructs one net per
+  level, §IV.B);
+* :func:`~repro.qasm.writer.to_qasm` -- write a circuit back out.
+"""
+
+from .levelize import levelize, levels_to_circuit
+from .parser import ParsedProgram, parse_qasm, parse_qasm_file
+from .writer import to_qasm
+
+__all__ = [
+    "ParsedProgram",
+    "parse_qasm",
+    "parse_qasm_file",
+    "levelize",
+    "levels_to_circuit",
+    "to_qasm",
+]

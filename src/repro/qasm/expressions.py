@@ -1,0 +1,109 @@
+"""Safe evaluation of OpenQASM parameter expressions.
+
+OpenQASM 2.0 gate parameters are arithmetic expressions over numbers, ``pi``
+and (inside gate definitions) formal parameter names, using ``+ - * / ^`` and
+a few unary functions.  Evaluation uses Python's :mod:`ast` with a strict
+whitelist -- no ``eval`` of arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+from typing import Dict, Mapping, Optional
+
+from ..core.exceptions import QasmSyntaxError
+
+__all__ = ["evaluate_expression"]
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+    ast.Mod: operator.mod,
+}
+
+_UNARYOPS = {
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+}
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+}
+
+_CONSTANTS = {"pi": math.pi, "tau": 2 * math.pi, "e": math.e}
+
+
+def evaluate_expression(text: str, variables: Optional[Mapping[str, float]] = None) -> float:
+    """Evaluate an OpenQASM arithmetic expression to a float."""
+    variables = dict(variables or {})
+    # OpenQASM uses ^ for exponentiation; Python uses **.
+    source = text.replace("^", "**").strip()
+    # OpenQASM parameter names may collide with Python keywords (``lambda`` is
+    # ubiquitous in qelib1.inc); rename them before handing the text to ast.
+    import keyword
+    import re as _re
+
+    for name in list(variables):
+        if keyword.iskeyword(name):
+            safe = f"_{name}_"
+            source = _re.sub(rf"\b{name}\b", safe, source)
+            variables[safe] = variables.pop(name)
+    source = _re.sub(r"\blambda\b", "_lambda_", source)
+    if "_lambda_" in source and "_lambda_" not in variables and "lambda" not in variables:
+        # bare ``lambda`` with no binding: leave it to the unknown-identifier error
+        pass
+    if not source:
+        raise QasmSyntaxError("empty parameter expression")
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise QasmSyntaxError(f"invalid parameter expression {text!r}: {exc}") from None
+
+    def walk(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)):
+                return float(node.value)
+            raise QasmSyntaxError(f"invalid literal {node.value!r} in {text!r}")
+        if isinstance(node, ast.Name):
+            key = node.id.lower()
+            if node.id in variables:
+                return float(variables[node.id])
+            if key in _CONSTANTS:
+                return _CONSTANTS[key]
+            raise QasmSyntaxError(f"unknown identifier {node.id!r} in {text!r}")
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise QasmSyntaxError(f"operator not allowed in {text!r}")
+            return op(walk(node.left), walk(node.right))
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:
+                raise QasmSyntaxError(f"unary operator not allowed in {text!r}")
+            return op(walk(node.operand))
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name):
+                raise QasmSyntaxError(f"invalid function call in {text!r}")
+            fn = _FUNCTIONS.get(node.func.id.lower())
+            if fn is None or node.keywords or len(node.args) != 1:
+                raise QasmSyntaxError(f"function {node.func.id!r} not allowed in {text!r}")
+            return fn(walk(node.args[0]))
+        raise QasmSyntaxError(f"unsupported syntax in parameter expression {text!r}")
+
+    return float(walk(tree))

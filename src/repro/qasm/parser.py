@@ -1,0 +1,321 @@
+"""OpenQASM 2.0 subset parser.
+
+Supported constructs (enough to consume QASMBench-style circuits):
+
+* ``OPENQASM 2.0;`` header and ``include`` statements (includes are ignored;
+  the ``qelib1.inc`` gate set is built in),
+* ``qreg`` / ``creg`` declarations (multiple quantum registers are flattened
+  into one global qubit index space, first-declared register at the low
+  indices),
+* gate applications with parameter expressions (``rz(pi/4) q[1];``),
+  register broadcasting (``h q;`` applies H to every qubit of ``q``),
+* user gate definitions ``gate name(params) args { body }`` expanded as
+  macros down to built-in gates,
+* ``barrier`` (recorded as level separators), ``measure`` and ``reset``
+  (accepted and ignored -- qTask simulates pure states),
+* ``//`` and ``/* ... */`` comments.
+
+Unsupported constructs (``if``, ``opaque``) raise :class:`QasmSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.exceptions import QasmSyntaxError
+from ..core.gates import GATE_REGISTRY, Gate
+from .expressions import evaluate_expression
+
+__all__ = ["ParsedProgram", "GateDefinition", "parse_qasm", "parse_qasm_file"]
+
+# qelib1.inc composite gates not in the registry, expanded to registry gates.
+# Each entry: (params, qubit arity, body) where body lines use formal names.
+_QELIB_MACROS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]] = {
+    "cu3": (("theta", "phi", "lambda"), ("a", "b"), (
+        "p((lambda+phi)/2) a",
+        "p((lambda-phi)/2) b",
+        "cx a,b",
+        "u3(-theta/2,0,-(phi+lambda)/2) b",
+        "cx a,b",
+        "u3(theta/2,phi,0) b",
+    )),
+    "rccx": ((), ("a", "b", "c"), (
+        "u2(0,pi) c", "p(pi/4) c", "cx b,c", "p(-pi/4) c",
+        "cx a,c", "p(pi/4) c", "cx b,c", "p(-pi/4) c", "u2(0,pi) c",
+    )),
+    "c3x": ((), ("a", "b", "c", "d"), (
+        "h d", "p(pi/8) a", "p(pi/8) b", "p(pi/8) c", "p(pi/8) d",
+        "cx a,b", "p(-pi/8) b", "cx a,b", "cx b,c", "p(-pi/8) c",
+        "cx a,c", "p(pi/8) c", "cx b,c", "p(-pi/8) c", "cx a,c",
+        "cx c,d", "p(-pi/8) d", "cx b,d", "p(pi/8) d", "cx c,d",
+        "p(-pi/8) d", "cx a,d", "p(pi/8) d", "cx c,d", "p(-pi/8) d",
+        "cx b,d", "p(pi/8) d", "cx c,d", "p(-pi/8) d", "cx a,d", "h d",
+    )),
+}
+
+
+@dataclass
+class GateDefinition:
+    """A user-defined gate (macro) from a ``gate`` block."""
+
+    name: str
+    params: Tuple[str, ...]
+    qubits: Tuple[str, ...]
+    body: Tuple[str, ...]
+
+
+@dataclass
+class ParsedProgram:
+    """Result of parsing an OpenQASM program."""
+
+    num_qubits: int
+    gates: List[Gate] = field(default_factory=list)
+    #: indices into ``gates`` where an explicit ``barrier`` occurred
+    barriers: List[int] = field(default_factory=list)
+    #: register name -> (offset, size)
+    registers: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    num_classical_bits: int = 0
+    definitions: Dict[str, GateDefinition] = field(default_factory=dict)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+
+_COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.DOTALL)
+_COMMENT_LINE = re.compile(r"//[^\n]*")
+_QREG = re.compile(r"^(qreg|creg)\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+_NAME = re.compile(r"^([A-Za-z_][\w]*)\s*")
+_OPERAND = re.compile(r"^([A-Za-z_][\w]*)(\s*\[\s*(\d+)\s*\])?$")
+
+
+def _split_call(stmt: str) -> Tuple[str, List[str], List[str]]:
+    """Split ``name(p1, p2) a, b`` into name, parameter texts and operands.
+
+    Parameter expressions may contain nested parentheses (e.g. ``(a+b)/2``),
+    so the parameter list is extracted by balancing parentheses rather than
+    with a regular expression.
+    """
+    m = _NAME.match(stmt.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed statement {stmt!r}")
+    name = m.group(1)
+    rest = stmt.strip()[m.end():].lstrip()
+    params: List[str] = []
+    if rest.startswith("("):
+        depth = 0
+        for i, ch in enumerate(rest):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    inner = rest[1:i]
+                    params = [p.strip() for p in _split_top_level(inner) if p.strip()]
+                    rest = rest[i + 1 :].strip()
+                    break
+        else:
+            raise QasmSyntaxError(f"unbalanced parentheses in {stmt!r}")
+    operands = [o.strip() for o in rest.split(",") if o.strip()]
+    return name, params, operands
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split a comma-separated list, ignoring commas inside parentheses."""
+    out, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            out.append(text[start:i])
+            start = i + 1
+    out.append(text[start:])
+    return out
+
+
+def parse_qasm_file(path: str) -> ParsedProgram:
+    """Parse an OpenQASM 2.0 file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_qasm(fh.read())
+
+
+def parse_qasm(text: str) -> ParsedProgram:
+    """Parse OpenQASM 2.0 source text into a :class:`ParsedProgram`."""
+    cleaned = _COMMENT_LINE.sub("", _COMMENT_BLOCK.sub("", text))
+    statements, definitions = _split_statements(cleaned)
+
+    program = ParsedProgram(num_qubits=0)
+    for name, definition in definitions.items():
+        program.definitions[name] = definition
+
+    offset = 0
+    for stmt in statements:
+        stmt = stmt.strip()
+        if not stmt:
+            continue
+        lowered = stmt.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        m = _QREG.match(stmt)
+        if m:
+            kind, name, size = m.group(1), m.group(2), int(m.group(3))
+            if kind == "qreg":
+                program.registers[name] = (offset, size)
+                offset += size
+                program.num_qubits = offset
+            else:
+                program.num_classical_bits += size
+            continue
+        if lowered.startswith("barrier"):
+            program.barriers.append(len(program.gates))
+            continue
+        if lowered.startswith("measure") or lowered.startswith("reset"):
+            continue
+        if lowered.startswith("if"):
+            raise QasmSyntaxError(f"classical control is not supported: {stmt!r}")
+        if lowered.startswith("opaque"):
+            raise QasmSyntaxError(f"opaque gates are not supported: {stmt!r}")
+        _emit_gate(stmt, program, definitions, {})
+    if program.num_qubits == 0:
+        raise QasmSyntaxError("program declares no quantum register")
+    return program
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _split_statements(text: str) -> Tuple[List[str], Dict[str, GateDefinition]]:
+    """Split source into top-level statements and user gate definitions."""
+    statements: List[str] = []
+    definitions: Dict[str, GateDefinition] = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        # gate definition?
+        m = re.match(r"\s*gate\s+", text[i:])
+        if m:
+            brace_open = text.index("{", i)
+            brace_close = text.index("}", brace_open)
+            header = text[i + m.end() : brace_open].strip()
+            body_text = text[brace_open + 1 : brace_close]
+            definition = _parse_gate_definition(header, body_text)
+            definitions[definition.name] = definition
+            i = brace_close + 1
+            continue
+        j = text.find(";", i)
+        if j == -1:
+            rest = text[i:].strip()
+            if rest:
+                statements.append(rest)
+            break
+        statements.append(text[i:j].strip())
+        i = j + 1
+    return statements, definitions
+
+
+def _parse_gate_definition(header: str, body_text: str) -> GateDefinition:
+    name, params, qubits = _split_call(header.strip())
+    body = tuple(s.strip() for s in body_text.split(";") if s.strip())
+    return GateDefinition(name=name, params=tuple(params), qubits=tuple(qubits), body=body)
+
+
+def _resolve_operand(
+    token: str,
+    program: ParsedProgram,
+) -> List[int]:
+    """Resolve ``q[3]`` to [index] or a bare register ``q`` to all its qubits."""
+    m = _OPERAND.match(token.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed operand {token!r}")
+    reg, _, idx = m.group(1), m.group(2), m.group(3)
+    if reg not in program.registers:
+        raise QasmSyntaxError(f"unknown quantum register {reg!r}")
+    offset, size = program.registers[reg]
+    if idx is None:
+        return [offset + k for k in range(size)]
+    k = int(idx)
+    if k >= size:
+        raise QasmSyntaxError(f"index {k} out of range for register {reg}[{size}]")
+    return [offset + k]
+
+
+def _emit_gate(
+    stmt: str,
+    program: ParsedProgram,
+    definitions: Mapping[str, GateDefinition],
+    bindings: Mapping[str, float],
+) -> None:
+    name, raw_params, raw_operands = _split_call(stmt)
+    name = name.lower()
+    params = tuple(evaluate_expression(p, bindings) for p in raw_params)
+
+    operand_sets = [_resolve_operand(tok, program) for tok in raw_operands]
+    if not operand_sets:
+        raise QasmSyntaxError(f"gate {name!r} applied to no qubits: {stmt!r}")
+
+    # Register broadcasting: all multi-qubit operands must have equal length.
+    lengths = {len(s) for s in operand_sets if len(s) > 1}
+    if len(lengths) > 1:
+        raise QasmSyntaxError(f"mismatched register broadcast in {stmt!r}")
+    repeat = lengths.pop() if lengths else 1
+
+    for rep in range(repeat):
+        qubits = tuple(s[rep] if len(s) > 1 else s[0] for s in operand_sets)
+        _emit_single(name, params, qubits, program, definitions)
+
+
+def _emit_single(
+    name: str,
+    params: Tuple[float, ...],
+    qubits: Tuple[int, ...],
+    program: ParsedProgram,
+    definitions: Mapping[str, GateDefinition],
+) -> None:
+    if name in GATE_REGISTRY:
+        program.gates.append(Gate(name, qubits, params))
+        return
+    definition = definitions.get(name) or _builtin_macro(name)
+    if definition is None:
+        raise QasmSyntaxError(f"unknown gate {name!r}")
+    if len(definition.params) != len(params) or len(definition.qubits) != len(qubits):
+        raise QasmSyntaxError(
+            f"gate {name!r} expects {len(definition.params)} params / "
+            f"{len(definition.qubits)} qubits"
+        )
+    bindings = dict(zip(definition.params, params))
+    qubit_map = dict(zip(definition.qubits, qubits))
+    for stmt in definition.body:
+        _emit_macro_statement(stmt, bindings, qubit_map, program, definitions)
+
+
+def _builtin_macro(name: str) -> Optional[GateDefinition]:
+    entry = _QELIB_MACROS.get(name)
+    if entry is None:
+        return None
+    params, qubits, body = entry
+    return GateDefinition(name=name, params=params, qubits=qubits, body=body)
+
+
+def _emit_macro_statement(
+    stmt: str,
+    bindings: Mapping[str, float],
+    qubit_map: Mapping[str, int],
+    program: ParsedProgram,
+    definitions: Mapping[str, GateDefinition],
+) -> None:
+    name, raw_params, raw_operands = _split_call(stmt.strip())
+    name = name.lower()
+    if name == "barrier":
+        return
+    params = tuple(evaluate_expression(p, bindings) for p in raw_params)
+    try:
+        qubits = tuple(qubit_map[q] for q in raw_operands)
+    except KeyError as exc:
+        raise QasmSyntaxError(f"unknown formal qubit {exc.args[0]!r} in {stmt!r}") from None
+    _emit_single(name, params, qubits, program, definitions)

@@ -1,0 +1,47 @@
+"""Serialize circuits back to OpenQASM 2.0 text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+
+__all__ = ["to_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _format_gate(gate: Gate) -> str:
+    params = ""
+    if gate.params:
+        params = "(" + ",".join(f"{p:.12g}" for p in gate.params) + ")"
+    operands = ",".join(f"q[{q}]" for q in gate.qubits)
+    return f"{gate.name}{params} {operands};"
+
+
+def to_qasm(circuit_or_levels: Union[Circuit, Sequence[Iterable[Gate]]],
+            num_qubits: int | None = None) -> str:
+    """Render a circuit (or a list of gate levels) as OpenQASM 2.0 source.
+
+    Nets/levels are separated by ``barrier`` statements so a round trip
+    through :func:`repro.qasm.parse_qasm` + :func:`repro.qasm.levelize`
+    reconstructs the same level structure.
+    """
+    if isinstance(circuit_or_levels, Circuit):
+        num_qubits = circuit_or_levels.num_qubits
+        levels: List[List[Gate]] = [
+            [h.gate for h in net.gates] for net in circuit_or_levels.nets() if net.gates
+        ]
+    else:
+        if num_qubits is None:
+            raise ValueError("num_qubits is required when passing raw levels")
+        levels = [list(level) for level in circuit_or_levels]
+
+    lines = [_HEADER, f"qreg q[{num_qubits}];", f"creg c[{num_qubits}];"]
+    for i, level in enumerate(levels):
+        if i > 0:
+            lines.append("barrier q;")
+        for gate in level:
+            lines.append(_format_gate(gate))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,157 @@
+"""The user-facing qTask facade (the paper's Table-II API).
+
+:class:`QTask` bundles a :class:`~repro.core.circuit.Circuit` with a
+:class:`~repro.core.simulator.QTaskSimulator` behind the exact programming
+model of Listing 1:
+
+>>> from repro import QTask
+>>> ckt = QTask(5)
+>>> q4, q3, q2, q1, q0 = ckt.qubits()
+>>> net1 = ckt.insert_net()
+>>> net2 = ckt.insert_net(net1)
+>>> G1 = ckt.insert_gate("h", net1, q4)
+>>> G6 = ckt.insert_gate("cnot", net2, q3, q4)
+>>> ckt.update_state()        # full simulation          # doctest: +ELLIPSIS
+UpdateReport(...)
+>>> ckt.remove_gate(G6)
+>>> ckt.update_state()        # incremental simulation   # doctest: +ELLIPSIS
+UpdateReport(...)
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from .core.blocks import DEFAULT_BLOCK_SIZE
+from .core.circuit import Circuit, GateHandle, NetHandle
+from .core.cow import MemoryReport
+from .core.gates import Gate
+from .core.simulator import QTaskSimulator, UpdateReport
+from .parallel import Executor
+
+__all__ = ["QTask"]
+
+
+class QTask:
+    """Incremental quantum circuit simulator with the paper's API surface."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        num_workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        copy_on_write: bool = True,
+    ) -> None:
+        self.circuit = Circuit(num_qubits)
+        self.simulator = QTaskSimulator(
+            self.circuit,
+            block_size=block_size,
+            num_workers=num_workers,
+            executor=executor,
+            copy_on_write=copy_on_write,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self.simulator.close()
+
+    def __enter__(self) -> "QTask":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structural queries ----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        return self.circuit.num_gates
+
+    @property
+    def num_nets(self) -> int:
+        return self.circuit.num_nets
+
+    def qubits(self) -> Tuple[int, ...]:
+        """Qubit indices from most to least significant (as in Listing 1)."""
+        return self.circuit.qubits()
+
+    def nets(self) -> List[NetHandle]:
+        return self.circuit.nets()
+
+    # -- circuit modifiers (Table II) -----------------------------------------
+
+    def insert_net(self, after: Optional[NetHandle] = None) -> NetHandle:
+        """Insert a new empty net (after ``after``, or at the end)."""
+        return self.circuit.insert_net(after)
+
+    def remove_net(self, net: NetHandle) -> None:
+        """Remove a net and all its gates from the circuit."""
+        self.circuit.remove_net(net)
+
+    def insert_gate(
+        self,
+        gate: Union[Gate, str],
+        net: NetHandle,
+        *qubits: int,
+        params: Sequence[float] = (),
+    ) -> GateHandle:
+        """Insert a gate into an existing net."""
+        return self.circuit.insert_gate(gate, net, *qubits, params=params)
+
+    def remove_gate(self, handle: GateHandle) -> None:
+        """Remove a gate from its net and the circuit."""
+        self.circuit.remove_gate(handle)
+
+    # -- state update -------------------------------------------------------------
+
+    def update_state(self) -> UpdateReport:
+        """Update state amplitudes, incrementally when possible."""
+        return self.simulator.update_state()
+
+    # -- queries ------------------------------------------------------------------
+
+    def dump_graph(self, stream: Optional[TextIO] = None) -> str:
+        """Dump the current partition graph in DOT format.
+
+        Returns the DOT text; also writes it to ``stream`` when given.
+        """
+        buf = io.StringIO()
+        self.simulator.dump_graph(buf)
+        text = buf.getvalue()
+        if stream is not None:
+            stream.write(text)
+        return text
+
+    def state(self) -> np.ndarray:
+        return self.simulator.state()
+
+    def amplitude(self, basis_state: int) -> complex:
+        return self.simulator.amplitude(basis_state)
+
+    def probabilities(self) -> np.ndarray:
+        return self.simulator.probabilities()
+
+    def probability(self, basis_state: int) -> float:
+        return self.simulator.probability(basis_state)
+
+    def memory_report(self) -> MemoryReport:
+        return self.simulator.memory_report()
+
+    def statistics(self) -> dict:
+        return self.simulator.statistics()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QTask(qubits={self.num_qubits}, nets={self.num_nets}, "
+            f"gates={self.num_gates}, B={self.simulator.block_size})"
+        )

@@ -1,0 +1,177 @@
+"""Tests for the benchmark harness: adapters, workloads, reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.adapters import (
+    qiskit_like_factory,
+    qtask_factory,
+    qulacs_like_factory,
+    standard_factories,
+)
+from repro.bench.metrics import FigureSeries, Table3Row, WorkloadResult
+from repro.bench.report import ascii_plot, format_series_table, format_table3, geometric_mean
+from repro.bench.workloads import (
+    full_simulation,
+    insertion_sweep,
+    levelwise_incremental,
+    mixed_sweep,
+    removal_sweep,
+)
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+
+from ..conftest import assert_states_close, random_levels, reference_state
+
+SMALL_N = 4
+
+
+@pytest.fixture
+def small_levels(rng):
+    return random_levels(rng, SMALL_N, 5)
+
+
+ALL_FACTORIES = [
+    qtask_factory(block_size=4, num_workers=1),
+    qulacs_like_factory(num_workers=1),
+    qiskit_like_factory(),
+]
+
+
+# ---------------------------------------------------------------------------
+# adapters
+# ---------------------------------------------------------------------------
+
+
+def test_standard_factories_names_and_order():
+    factories = standard_factories(num_workers=1)
+    assert [f.name for f in factories] == ["Qulacs-like", "Qiskit-like", "qTask"]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_adapter_interface(factory, small_levels):
+    ckt = Circuit(SMALL_N)
+    adapter = factory.create(ckt)
+    try:
+        ckt.from_levels(small_levels)
+        adapter.update_state()
+        state = adapter.state()
+        assert_states_close(state, reference_state(SMALL_N, small_levels))
+        assert adapter.allocated_bytes() >= 0
+    finally:
+        adapter.close()
+
+
+# ---------------------------------------------------------------------------
+# workloads produce consistent timing records
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_full_simulation_workload(factory, small_levels):
+    res = full_simulation(SMALL_N, small_levels, factory, circuit_name="tiny")
+    assert res.workload == "full"
+    assert res.num_updates == 1
+    assert res.total_seconds > 0
+    assert res.circuit == "tiny"
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_levelwise_incremental_workload(factory, small_levels):
+    res = levelwise_incremental(SMALL_N, small_levels, factory)
+    assert res.num_updates == len(small_levels)
+    assert len(res.per_iteration_seconds) == len(small_levels)
+    assert res.total_seconds == pytest.approx(sum(res.per_iteration_seconds))
+    cumulative = res.cumulative_seconds
+    assert cumulative[-1] == pytest.approx(res.total_seconds)
+    assert all(b >= a for a, b in zip(cumulative, cumulative[1:]))
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_insertion_sweep_builds_whole_circuit(factory, small_levels):
+    res = insertion_sweep(SMALL_N, small_levels, factory, levels_per_iteration=2, seed=5)
+    assert res.workload == "insertions"
+    assert res.num_updates == (len(small_levels) + 1) // 2
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_removal_sweep_reaches_empty_circuit(factory, small_levels):
+    res = removal_sweep(SMALL_N, small_levels, factory, levels_per_iteration=2, seed=6)
+    # iteration 0 = full sim, then ceil(levels/2) removal iterations
+    assert res.num_updates == 1 + (len(small_levels) + 1) // 2
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES, ids=lambda f: f.name)
+def test_mixed_sweep_runs_requested_iterations(factory, small_levels):
+    res = mixed_sweep(SMALL_N, small_levels, factory, iterations=6, seed=7)
+    assert res.num_updates == 6
+
+
+def test_workloads_keep_qtask_consistent_with_baseline(small_levels):
+    """After the same mixed sweep, qTask and a fresh full simulation agree."""
+    res_q = mixed_sweep(SMALL_N, small_levels, qtask_factory(block_size=4, num_workers=1),
+                        iterations=8, seed=11)
+    res_b = mixed_sweep(SMALL_N, small_levels, qulacs_like_factory(num_workers=1),
+                        iterations=8, seed=11)
+    assert res_q.num_updates == res_b.num_updates
+
+
+def test_qtask_peak_memory_reported(small_levels):
+    res = levelwise_incremental(SMALL_N, small_levels, qtask_factory(block_size=4, num_workers=1))
+    assert res.peak_allocated_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# metrics & report formatting
+# ---------------------------------------------------------------------------
+
+
+def test_table3_row_speedup():
+    row = Table3Row(circuit="c", description="", qubits=4, gates=10, cnots=2)
+    row.results["Qulacs-like"] = (0.2, 2.0, 100)
+    row.results["qTask"] = (0.1, 0.5, 200)
+    full, inc = row.speedup_over("Qulacs-like")
+    assert full == pytest.approx(2.0)
+    assert inc == pytest.approx(4.0)
+
+
+def test_format_table3_output_contains_speedups():
+    row = Table3Row(circuit="c", description="", qubits=4, gates=10, cnots=2)
+    row.results = {
+        "Qulacs-like": (0.2, 2.0, 100),
+        "Qiskit-like": (0.3, 3.0, 100),
+        "qTask": (0.1, 0.5, 200),
+    }
+    text = format_table3([row], ["Qulacs-like", "Qiskit-like", "qTask"])
+    assert "qTask speedup over Qulacs-like" in text
+    assert "c\t4\t10\t2" in text
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+    assert np.isnan(geometric_mean([]))
+
+
+def test_figure_series_and_table_formatting():
+    s1 = FigureSeries("a")
+    s2 = FigureSeries("b")
+    for i in range(4):
+        s1.add(i, i * 1.0)
+        s2.add(i, i * 2.0)
+    table = format_series_table([s1, s2], "iter", "ms")
+    assert table.splitlines()[0].startswith("iter\ta\tb")
+    assert len(table.splitlines()) == 5
+    plot = ascii_plot([s1, s2], title="demo")
+    assert "demo" in plot and "o=a" in plot
+
+
+def test_ascii_plot_empty_series():
+    assert "(no data)" in ascii_plot([FigureSeries("x")], title="t")
+
+
+def test_workload_result_properties():
+    res = WorkloadResult(simulator="s", workload="w", circuit="c",
+                         total_seconds=0.5, per_iteration_seconds=[0.2, 0.3])
+    assert res.total_ms == pytest.approx(500)
+    assert res.cumulative_seconds == pytest.approx([0.2, 0.5])

@@ -1,0 +1,291 @@
+"""Tests for the benchmark circuit generators and the catalog."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CATALOG,
+    benchmark_names,
+    bernstein_vazirani,
+    build_benchmark,
+    build_levels,
+    counterfeit_coin,
+    cuccaro_adder,
+    deep_neural_network,
+    get_benchmark,
+    ghz_levels,
+    grover_sat,
+    ising_model,
+    inverse_qft_gates,
+    multiplier,
+    phase_estimation,
+    qaoa_maxcut,
+    qft_gates,
+    quantum_fourier_transform,
+    ripple_adder,
+    shor_error_correction,
+    shor_factor_21,
+    simons_algorithm,
+    toffoli_gates,
+    vqe_uccsd,
+    bb84,
+)
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate, embed_gate_matrix
+from repro.core.simulator import QTaskSimulator
+from repro.qasm import levelize
+
+from ..conftest import assert_states_close, reference_state
+
+
+def simulate_levels(n, levels):
+    ckt = Circuit(n)
+    ckt.from_levels(levels)
+    sim = QTaskSimulator(ckt, block_size=16, num_workers=1)
+    sim.update_state()
+    state = sim.state()
+    sim.close()
+    return state
+
+
+# ---------------------------------------------------------------------------
+# building blocks
+# ---------------------------------------------------------------------------
+
+
+def test_qft_matches_dft_matrix():
+    """QFT|x> amplitudes are the DFT of the computational basis state."""
+    n = 3
+    levels = levelize(qft_gates(range(n)))
+    state = reference_state(n, levels)       # input |000>
+    expected = np.ones(8, dtype=complex) / math.sqrt(8)
+    assert_states_close(state, expected)
+
+
+def test_qft_then_inverse_is_identity():
+    n = 4
+    gates = qft_gates(range(n)) + inverse_qft_gates(range(n))
+    state = reference_state(n, levelize(gates))
+    expected = np.zeros(16, dtype=complex)
+    expected[0] = 1
+    assert_states_close(state, expected)
+
+
+def test_qft_decompose_cp_is_equivalent():
+    n = 3
+    plain = reference_state(n, levelize(qft_gates(range(n))))
+    compiled = reference_state(n, levelize(qft_gates(range(n), decompose_cp=True)))
+    # equal up to global phase
+    k = np.argmax(np.abs(plain))
+    assert_states_close(compiled, plain * (compiled[k] / plain[k]))
+
+
+def test_toffoli_decomposition_matches_ccx():
+    n = 3
+    plain = toffoli_gates(0, 1, 2)
+    decomposed = toffoli_gates(0, 1, 2, decompose=True)
+    u1 = np.eye(8, dtype=complex)
+    for g in plain:
+        u1 = embed_gate_matrix(g, n) @ u1
+    u2 = np.eye(8, dtype=complex)
+    for g in decomposed:
+        u2 = embed_gate_matrix(g, n) @ u2
+    # equal up to global phase
+    phase = u1[0, 0] / u2[0, 0] if abs(u2[0, 0]) > 1e-12 else 1.0
+    np.testing.assert_allclose(u1, u2 * phase, atol=1e-9)
+
+
+def test_ghz_levels_produce_ghz_state():
+    n = 4
+    state = reference_state(n, ghz_levels(n))
+    expected = np.zeros(16, dtype=complex)
+    expected[0] = expected[-1] = 1 / math.sqrt(2)
+    assert_states_close(state, expected)
+
+
+def test_cuccaro_adder_adds_classical_inputs():
+    """a=3, b=2 -> b register ends holding (a+b) mod 8 = 5."""
+    bits = 3
+    n = 2 * bits + 2
+    a_q = [1, 2, 3]
+    b_q = [4, 5, 6]
+    prep = [Gate("x", (a_q[0],)), Gate("x", (a_q[1],))]        # a = 3
+    prep += [Gate("x", (b_q[1],))]                             # b = 2
+    gates = prep + cuccaro_adder(a_q, b_q, 0, 7)
+    state = reference_state(n, levelize(gates))
+    outcome = int(np.argmax(np.abs(state)))
+    b_out = sum(((outcome >> q) & 1) << i for i, q in enumerate(b_q))
+    a_out = sum(((outcome >> q) & 1) << i for i, q in enumerate(a_q))
+    assert b_out == 5
+    assert a_out == 3          # a register is restored
+    assert (outcome >> 7) & 1 == 0   # no carry out of 3 bits for 3+2
+
+
+# ---------------------------------------------------------------------------
+# algorithm semantics on small instances
+# ---------------------------------------------------------------------------
+
+
+def test_bernstein_vazirani_reveals_secret():
+    n = 5
+    secret = 0b1011
+    levels = levelize(bernstein_vazirani(n, secret=secret))
+    state = reference_state(n, levels)
+    probs = np.abs(state) ** 2
+    # data qubits 0..3 should measure exactly the secret (ancilla in |->)
+    data_outcomes = {}
+    for idx, p in enumerate(probs):
+        data = idx & 0b1111
+        data_outcomes[data] = data_outcomes.get(data, 0.0) + p
+    best = max(data_outcomes, key=data_outcomes.get)
+    assert best == secret
+    assert data_outcomes[best] > 0.99
+
+
+def test_simons_algorithm_output_orthogonal_to_secret():
+    n = 6
+    secret = 0b101
+    levels = levelize(simons_algorithm(n, secret=secret))
+    state = reference_state(n, levels)
+    probs = np.abs(state) ** 2
+    for idx, p in enumerate(probs):
+        if p < 1e-9:
+            continue
+        y = idx & 0b111          # measured input register
+        parity = bin(y & secret).count("1") % 2
+        assert parity == 0       # y . s = 0 for every observable outcome
+
+
+def test_phase_estimation_peaks_at_encoded_phase():
+    n = 5                        # 4 counting qubits + 1 eigenstate
+    phase = 0.3125               # 5/16, exactly representable on 4 bits
+    levels = levelize(phase_estimation(n, phase=phase))
+    state = reference_state(n, levels)
+    probs = np.abs(state) ** 2
+    counting = {}
+    for idx, p in enumerate(probs):
+        counting[idx & 0b1111] = counting.get(idx & 0b1111, 0.0) + p
+    best = max(counting, key=counting.get)
+    assert best == 5             # 5/16 = 0.3125
+    assert counting[best] > 0.9
+
+
+def test_grover_sat_amplifies_some_state():
+    n = 6
+    levels = levelize(grover_sat(n, iterations=2, seed=3))
+    state = reference_state(n, levels)
+    probs = np.abs(state) ** 2
+    assert probs.max() > 2.5 / (1 << 4)   # amplified well above uniform
+    assert abs(probs.sum() - 1) < 1e-9
+
+
+def test_counterfeit_coin_preserves_norm():
+    state = reference_state(7, levelize(counterfeit_coin(7)))
+    assert abs(np.linalg.norm(state) - 1) < 1e-9
+
+
+def test_bb84_contains_no_two_qubit_gates():
+    gates = bb84(8)
+    assert all(len(g.qubits) == 1 for g in gates)
+
+
+def test_ising_model_norm_and_gate_mix():
+    gates = ising_model(6, steps=3)
+    assert any(g.name == "cx" for g in gates)
+    assert any(g.name == "rx" for g in gates)
+    state = reference_state(6, levelize(gates))
+    assert abs(np.linalg.norm(state) - 1) < 1e-9
+
+
+def test_vqe_uccsd_is_deep_and_cnot_heavy():
+    gates = vqe_uccsd(8, excitations=50)
+    names = [g.name for g in gates]
+    assert names.count("cx") > 50
+    assert names.count("rz") >= 50
+
+
+def test_dnn_layer_structure():
+    gates = deep_neural_network(4, layers=2, seed=1)
+    assert sum(1 for g in gates if g.name == "cx") == 2 * 3
+    assert sum(1 for g in gates if g.name in ("ry", "rz")) == 2 * (4 * 2 + 4)
+
+
+def test_qaoa_and_multiplier_and_seca_build():
+    assert len(qaoa_maxcut(6, rounds=2)) > 10
+    assert len(multiplier(9)) > 20
+    assert len(shor_error_correction(11, rounds=2)) > 20
+    assert len(shor_factor_21(9)) > 20
+    assert len(ripple_adder(8)) > 10
+
+
+def test_generators_are_deterministic():
+    assert bb84(8) == bb84(8)
+    assert vqe_uccsd(6, excitations=10) == vqe_uccsd(6, excitations=10)
+    assert grover_sat(8) == grover_sat(8)
+
+
+# ---------------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------------
+
+
+def test_catalog_has_the_20_table3_circuits():
+    assert len(CATALOG) == 20
+    assert set(benchmark_names("large")) == {
+        "big_adder", "big_bv", "big_cc", "big_ising", "big_qft",
+    }
+
+
+def test_catalog_qubit_counts_match_table3():
+    expected = {
+        "dnn": 8, "adder": 10, "bb84": 8, "bv": 14, "ising": 10,
+        "multiplier": 15, "multiplier_35": 13, "qaoa": 6, "qf21": 15,
+        "qft": 15, "qpe": 9, "sat": 11, "seca": 11, "simons": 6,
+        "vqe_uccsd": 8, "big_adder": 18, "big_bv": 19, "big_cc": 18,
+        "big_ising": 26, "big_qft": 20,
+    }
+    for name, qubits in expected.items():
+        assert CATALOG[name].qubits == qubits
+
+
+def test_get_benchmark_unknown_name():
+    with pytest.raises(KeyError):
+        get_benchmark("nonexistent")
+
+
+@pytest.mark.parametrize("name", [n for n in benchmark_names() if CATALOG[n].qubits <= 15])
+def test_catalog_circuits_build_and_respect_net_invariant(name):
+    ckt = build_benchmark(name)
+    assert ckt.num_qubits == CATALOG[name].qubits
+    assert ckt.num_gates > 0
+    for net in ckt.nets():
+        used = [q for h in net.gates for q in h.gate.qubits]
+        assert len(used) == len(set(used)), f"net dependency violated in {name}"
+
+
+@pytest.mark.parametrize("name", ["bv", "simons", "qaoa", "bb84", "adder", "qpe"])
+def test_catalog_small_circuits_simulate_consistently(name):
+    """qTask and the dense reference agree on the catalog's small circuits."""
+    qubits, levels = build_levels(name)
+    if qubits > 10:
+        pytest.skip("reference simulation too large")
+    state = simulate_levels(qubits, levels)
+    assert_states_close(state, reference_state(qubits, levels), atol=1e-8)
+
+
+def test_build_levels_supports_resizing():
+    qubits, levels = build_levels("qft", num_qubits=6)
+    assert qubits == 6
+    assert all(q < 6 for lvl in levels for g in lvl for q in g.qubits)
+
+
+def test_catalog_gate_counts_within_factor_of_paper():
+    """Synthesized circuits land within ~3x of the paper's gate counts."""
+    for name in ("adder", "bv", "qft", "big_adder", "big_bv", "vqe_uccsd"):
+        spec = CATALOG[name]
+        gates = sum(len(l) for l in spec.levels())
+        assert spec.paper_gates is not None
+        assert gates >= spec.paper_gates / 3
+        assert gates <= spec.paper_gates * 3

@@ -1,0 +1,90 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate, embed_gate_matrix
+
+# ---------------------------------------------------------------------------
+# reference simulation helpers (independent of the library's fast kernels)
+# ---------------------------------------------------------------------------
+
+
+def reference_state(num_qubits: int, levels: Sequence[Sequence[Gate]]) -> np.ndarray:
+    """Ground-truth state via dense operator embedding (small circuits only)."""
+    psi = np.zeros(1 << num_qubits, dtype=complex)
+    psi[0] = 1.0
+    for level in levels:
+        for gate in level:
+            psi = embed_gate_matrix(gate, num_qubits) @ psi
+    return psi
+
+
+def circuit_levels(circuit: Circuit) -> List[List[Gate]]:
+    """Extract the (non-empty) gate levels currently in a circuit."""
+    return [[h.gate for h in net.gates] for net in circuit.nets() if net.gates]
+
+
+def assert_states_close(actual: np.ndarray, expected: np.ndarray, *, atol: float = 1e-9):
+    __tracebackhide__ = True
+    np.testing.assert_allclose(actual, expected, atol=atol, rtol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# random circuit generation used across many tests
+# ---------------------------------------------------------------------------
+
+SINGLE_QUBIT_GATES = ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"]
+PARAM_SINGLE_GATES = ["rx", "ry", "rz", "p", "u3"]
+TWO_QUBIT_GATES = ["cx", "cz", "swap", "cy", "ch"]
+PARAM_TWO_GATES = ["cp", "crz", "crx", "rzz"]
+
+
+def random_gate(rng: random.Random, qubits: Sequence[int]) -> Gate:
+    """A random gate on a subset of the given (free) qubits."""
+    if len(qubits) >= 2 and rng.random() < 0.45:
+        q = rng.sample(list(qubits), 2)
+        if rng.random() < 0.5:
+            return Gate(rng.choice(TWO_QUBIT_GATES), tuple(q))
+        name = rng.choice(PARAM_TWO_GATES)
+        return Gate(name, tuple(q), (rng.uniform(0, 2 * np.pi),))
+    q = (rng.choice(list(qubits)),)
+    if rng.random() < 0.5:
+        return Gate(rng.choice(SINGLE_QUBIT_GATES), q)
+    name = rng.choice(PARAM_SINGLE_GATES)
+    nparams = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "u3": 3}[name]
+    return Gate(name, q, tuple(rng.uniform(0, 2 * np.pi) for _ in range(nparams)))
+
+
+def random_level(rng: random.Random, num_qubits: int, *, density: float = 0.7) -> List[Gate]:
+    """A random net: gates on pairwise-disjoint qubits."""
+    free = list(range(num_qubits))
+    rng.shuffle(free)
+    gates: List[Gate] = []
+    while free and rng.random() < density:
+        gate = random_gate(rng, free)
+        for q in gate.qubits:
+            free.remove(q)
+        gates.append(gate)
+    return gates
+
+
+def random_levels(rng: random.Random, num_qubits: int, num_levels: int) -> List[List[Gate]]:
+    levels = [random_level(rng, num_qubits) for _ in range(num_levels)]
+    return [lvl for lvl in levels if lvl] or [[Gate("h", (0,))]]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,193 @@
+"""Tests for block arithmetic, block ranges and interval sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import (
+    BlockRange,
+    DEFAULT_BLOCK_SIZE,
+    IntervalSet,
+    block_bounds,
+    block_of,
+    intersect_ranges,
+    merge_overlapping,
+    num_blocks,
+    ranges_intersect,
+    validate_block_size,
+)
+
+
+def test_default_block_size_matches_paper():
+    assert DEFAULT_BLOCK_SIZE == 256
+
+
+@pytest.mark.parametrize("value", [1, 2, 4, 256, 1 << 20])
+def test_validate_block_size_accepts_powers_of_two(value):
+    assert validate_block_size(value) == value
+
+
+@pytest.mark.parametrize("value", [0, -1, 3, 5, 100, 257])
+def test_validate_block_size_rejects_non_powers(value):
+    with pytest.raises(ValueError):
+        validate_block_size(value)
+
+
+def test_num_blocks_basic():
+    assert num_blocks(32, 4) == 8
+    assert num_blocks(4, 4) == 1
+    assert num_blocks(2, 4) == 1  # short single block
+
+
+def test_num_blocks_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        num_blocks(0, 4)
+
+
+def test_block_of_and_bounds():
+    assert block_of(0, 4) == 0
+    assert block_of(17, 4) == 4
+    assert block_bounds(4, 4, 32) == (16, 19)
+    assert block_bounds(0, 8, 4) == (0, 3)  # clipped short block
+
+
+# ---------------------------------------------------------------------------
+# BlockRange
+# ---------------------------------------------------------------------------
+
+
+def test_block_range_validation():
+    with pytest.raises(ValueError):
+        BlockRange(3, 2)
+    with pytest.raises(ValueError):
+        BlockRange(-1, 2)
+
+
+def test_block_range_len_contains_iter():
+    r = BlockRange(2, 5)
+    assert len(r) == 4
+    assert 3 in r and 6 not in r
+    assert list(r) == [2, 3, 4, 5]
+
+
+def test_block_range_intersects():
+    assert ranges_intersect(BlockRange(0, 3), BlockRange(3, 5))
+    assert not ranges_intersect(BlockRange(0, 2), BlockRange(3, 5))
+
+
+def test_block_range_intersection_value():
+    assert intersect_ranges(BlockRange(0, 4), BlockRange(2, 8)) == BlockRange(2, 4)
+    assert intersect_ranges(BlockRange(0, 1), BlockRange(2, 3)) is None
+
+
+def test_block_range_union_span():
+    assert BlockRange(0, 1).union_span(BlockRange(5, 6)) == BlockRange(0, 6)
+
+
+def test_block_range_index_bounds():
+    assert BlockRange(2, 3).index_bounds(4, 32) == (8, 15)
+    # clipped by dim
+    assert BlockRange(0, 0).index_bounds(8, 4) == (0, 3)
+
+
+def test_merge_overlapping():
+    merged = merge_overlapping([BlockRange(4, 6), BlockRange(0, 2), BlockRange(2, 4)])
+    assert merged == [BlockRange(0, 6)]
+    merged = merge_overlapping([BlockRange(0, 1), BlockRange(3, 4)])
+    assert merged == [BlockRange(0, 1), BlockRange(3, 4)]
+
+
+def test_merge_overlapping_adjacent_ranges_coalesce():
+    assert merge_overlapping([BlockRange(0, 1), BlockRange(2, 3)]) == [BlockRange(0, 3)]
+
+
+def test_merge_overlapping_empty():
+    assert merge_overlapping([]) == []
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet
+# ---------------------------------------------------------------------------
+
+
+def test_interval_set_basic_membership():
+    s = IntervalSet([BlockRange(0, 3), BlockRange(6, 8)])
+    assert len(s) == 7
+    assert sorted(s) == [0, 1, 2, 3, 6, 7, 8]
+
+
+def test_interval_set_subtract_middle_splits():
+    s = IntervalSet.from_range(BlockRange(0, 9))
+    s.subtract(BlockRange(3, 5))
+    assert s.ranges() == (BlockRange(0, 2), BlockRange(6, 9))
+
+
+def test_interval_set_subtract_everything_empties():
+    s = IntervalSet.from_range(BlockRange(2, 4))
+    s.subtract(BlockRange(0, 10))
+    assert not s
+    assert len(s) == 0
+
+
+def test_interval_set_subtract_disjoint_is_noop():
+    s = IntervalSet.from_range(BlockRange(2, 4))
+    s.subtract(BlockRange(6, 9))
+    assert s.ranges() == (BlockRange(2, 4),)
+
+
+def test_interval_set_intersects_and_intersection():
+    s = IntervalSet([BlockRange(0, 2), BlockRange(5, 7)])
+    assert s.intersects(BlockRange(2, 5))
+    assert s.intersection(BlockRange(2, 5)) == [BlockRange(2, 2), BlockRange(5, 5)]
+    assert not s.intersects(BlockRange(3, 4))
+
+
+def test_interval_set_add_merges():
+    s = IntervalSet([BlockRange(0, 1)])
+    s.add(BlockRange(2, 3))
+    assert s.ranges() == (BlockRange(0, 3),)
+
+
+def test_interval_set_copy_is_independent():
+    s = IntervalSet.from_range(BlockRange(0, 5))
+    c = s.copy()
+    c.subtract(BlockRange(0, 5))
+    assert len(s) == 6 and len(c) == 0
+
+
+# ---------------------------------------------------------------------------
+# property-based: IntervalSet.subtract behaves like set difference
+# ---------------------------------------------------------------------------
+
+range_strategy = st.tuples(
+    st.integers(min_value=0, max_value=40), st.integers(min_value=0, max_value=40)
+).map(lambda t: BlockRange(min(t), max(t)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(initial=st.lists(range_strategy, max_size=5), removals=st.lists(range_strategy, max_size=5))
+def test_interval_set_subtract_matches_python_sets(initial, removals):
+    s = IntervalSet(initial)
+    expected = set()
+    for r in initial:
+        expected.update(r.blocks())
+    for r in removals:
+        s.subtract(r)
+        expected.difference_update(r.blocks())
+    assert set(s) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(ranges=st.lists(range_strategy, min_size=1, max_size=6))
+def test_merge_overlapping_preserves_membership_and_disjointness(ranges):
+    merged = merge_overlapping(ranges)
+    original = set()
+    for r in ranges:
+        original.update(r.blocks())
+    covered = set()
+    for r in merged:
+        covered.update(r.blocks())
+    assert covered == original
+    # merged ranges are sorted and non-adjacent
+    for a, b in zip(merged, merged[1:]):
+        assert a.last + 1 < b.first

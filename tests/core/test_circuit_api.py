@@ -1,0 +1,197 @@
+"""Tests for the circuit programming model (Table II) and its invariants."""
+
+import pytest
+
+from repro.core.circuit import Circuit, CircuitObserver
+from repro.core.exceptions import (
+    CircuitError,
+    NetDependencyError,
+    QubitIndexError,
+    StaleHandleError,
+)
+from repro.core.gates import Gate
+
+
+def test_circuit_requires_positive_qubits():
+    with pytest.raises(CircuitError):
+        Circuit(0)
+
+
+def test_qubits_returns_most_significant_first():
+    ckt = Circuit(5)
+    assert ckt.qubits() == (4, 3, 2, 1, 0)
+
+
+def test_insert_net_appends_and_after_positions():
+    ckt = Circuit(2)
+    n1 = ckt.insert_net()
+    n3 = ckt.insert_net()
+    n2 = ckt.insert_net(after=n1)
+    assert ckt.nets() == [n1, n2, n3]
+
+
+def test_prepend_net():
+    ckt = Circuit(2)
+    n1 = ckt.insert_net()
+    n0 = ckt.prepend_net()
+    assert ckt.nets() == [n0, n1]
+
+
+def test_insert_gate_by_name_and_instance():
+    ckt = Circuit(3)
+    net = ckt.insert_net()
+    h1 = ckt.insert_gate("h", net, 0)
+    h2 = ckt.insert_gate(Gate("cx", (1, 2)), net)
+    assert h1.name == "h" and h2.name == "cx"
+    assert ckt.num_gates == 2
+
+
+def test_insert_gate_instance_with_extra_args_raises():
+    ckt = Circuit(3)
+    net = ckt.insert_net()
+    with pytest.raises(CircuitError):
+        ckt.insert_gate(Gate("h", (0,)), net, 1)
+
+
+def test_net_dependency_rejected():
+    """Listing 1: inserting a dependent gate into a net throws."""
+    ckt = Circuit(3)
+    net = ckt.insert_net()
+    ckt.insert_gate("cx", net, 0, 1)
+    with pytest.raises(NetDependencyError):
+        ckt.insert_gate("h", net, 1)
+
+
+def test_net_dependency_allowed_when_flag_set():
+    ckt = Circuit(3, allow_net_dependencies=True)
+    net = ckt.insert_net()
+    ckt.insert_gate("cx", net, 0, 1)
+    ckt.insert_gate("h", net, 1)    # no exception
+    assert ckt.num_gates == 2
+
+
+def test_qubit_out_of_range_rejected():
+    ckt = Circuit(2)
+    net = ckt.insert_net()
+    with pytest.raises(QubitIndexError):
+        ckt.insert_gate("h", net, 5)
+
+
+def test_remove_gate_and_stale_handle():
+    ckt = Circuit(2)
+    net = ckt.insert_net()
+    h = ckt.insert_gate("h", net, 0)
+    ckt.remove_gate(h)
+    assert ckt.num_gates == 0
+    with pytest.raises(StaleHandleError):
+        ckt.remove_gate(h)
+
+
+def test_remove_net_removes_all_gates():
+    ckt = Circuit(3)
+    net = ckt.insert_net()
+    ckt.insert_gate("h", net, 0)
+    ckt.insert_gate("x", net, 1)
+    ckt.remove_net(net)
+    assert ckt.num_nets == 0 and ckt.num_gates == 0
+    with pytest.raises(StaleHandleError):
+        ckt.insert_gate("h", net, 0)
+
+
+def test_remove_net_not_in_circuit_raises():
+    ckt = Circuit(2)
+    other = Circuit(2).insert_net()
+    with pytest.raises(StaleHandleError):
+        ckt.remove_net(other)
+
+
+def test_depth_counts_only_nonempty_nets():
+    ckt = Circuit(2)
+    ckt.insert_net()
+    net = ckt.insert_net()
+    ckt.insert_gate("h", net, 0)
+    assert ckt.num_nets == 2
+    assert ckt.depth == 1
+
+
+def test_count_gate_handles_cnot_alias():
+    ckt = Circuit(3)
+    net = ckt.insert_net()
+    ckt.insert_gate("cnot", net, 0, 1)
+    assert ckt.count_gate("cx") == 1
+    assert ckt.count_gate("cnot") == 1
+    assert ckt.count_gate("h") == 0
+
+
+def test_gates_listed_in_net_order():
+    ckt = Circuit(3)
+    n1, n2 = ckt.insert_net(), ckt.insert_net()
+    g2 = ckt.insert_gate("x", n2, 0)
+    g1 = ckt.insert_gate("h", n1, 1)
+    assert ckt.gates() == [g1, g2]
+
+
+def test_append_level_and_from_levels():
+    ckt = Circuit(3)
+    ckt.from_levels([[Gate("h", (0,)), Gate("x", (1,))], [Gate("cx", (0, 1))]])
+    assert ckt.num_nets == 2
+    assert ckt.num_gates == 3
+
+
+# ---------------------------------------------------------------------------
+# observer notifications
+# ---------------------------------------------------------------------------
+
+
+class RecordingObserver(CircuitObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_net_inserted(self, circuit, net, position):
+        self.events.append(("net+", position))
+
+    def on_net_removed(self, circuit, net, removed_gates):
+        self.events.append(("net-", len(removed_gates)))
+
+    def on_gate_inserted(self, circuit, handle):
+        self.events.append(("gate+", handle.name))
+
+    def on_gate_removed(self, circuit, handle):
+        self.events.append(("gate-", handle.name))
+
+
+def test_observer_receives_all_modifier_events():
+    ckt = Circuit(3)
+    obs = RecordingObserver()
+    ckt.register_observer(obs)
+    net = ckt.insert_net()
+    h = ckt.insert_gate("h", net, 0)
+    ckt.insert_gate("cx", net, 1, 2)
+    ckt.remove_gate(h)
+    ckt.remove_net(net)
+    assert obs.events == [
+        ("net+", 0),
+        ("gate+", "h"),
+        ("gate+", "cx"),
+        ("gate-", "h"),
+        ("gate-", "cx"),
+        ("net-", 1),
+    ]
+
+
+def test_unregister_observer_stops_notifications():
+    ckt = Circuit(2)
+    obs = RecordingObserver()
+    ckt.register_observer(obs)
+    ckt.unregister_observer(obs)
+    ckt.insert_net()
+    assert obs.events == []
+
+
+def test_register_observer_idempotent():
+    ckt = Circuit(2)
+    obs = RecordingObserver()
+    ckt.register_observer(obs)
+    ckt.register_observer(obs)
+    ckt.insert_net()
+    assert obs.events == [("net+", 0)]

@@ -1,0 +1,230 @@
+"""Tests for the copy-on-write block stores and store chains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cow import BlockStore, InitialStateStore, MemoryReport, StoreChain
+
+
+def _store(dim=32, block=4):
+    return BlockStore(dim, block)
+
+
+def test_write_and_get_block_roundtrip():
+    s = _store()
+    data = np.arange(4, dtype=complex)
+    s.write_block(2, data)
+    np.testing.assert_allclose(s.get_block(2), data)
+    assert s.has_block(2)
+    assert not s.has_block(3)
+
+
+def test_write_block_copies_input():
+    s = _store()
+    data = np.zeros(4, dtype=complex)
+    s.write_block(0, data)
+    data[0] = 99
+    assert s.get_block(0)[0] == 0
+
+
+def test_write_block_wrong_size_raises():
+    s = _store()
+    with pytest.raises(ValueError):
+        s.write_block(0, np.zeros(3, dtype=complex))
+
+
+def test_write_range_spans_blocks():
+    s = _store()
+    s.write_range(4, np.arange(8, dtype=complex))
+    np.testing.assert_allclose(s.get_block(1), np.arange(4))
+    np.testing.assert_allclose(s.get_block(2), np.arange(4, 8))
+
+
+def test_write_range_unaligned_raises():
+    s = _store()
+    with pytest.raises(ValueError):
+        s.write_range(2, np.zeros(4, dtype=complex))
+
+
+def test_drop_and_clear():
+    s = _store()
+    s.write_block(1, np.zeros(4, dtype=complex))
+    s.drop_block(1)
+    assert not s.has_block(1)
+    s.write_block(1, np.zeros(4, dtype=complex))
+    s.clear()
+    assert s.num_stored_blocks == 0
+
+
+def test_allocated_bytes_counts_only_stored_blocks():
+    s = _store()
+    assert s.allocated_bytes() == 0
+    s.write_block(0, np.zeros(4, dtype=complex))
+    assert s.allocated_bytes() == 4 * 16
+
+
+# ---------------------------------------------------------------------------
+# InitialStateStore
+# ---------------------------------------------------------------------------
+
+
+def test_initial_state_store_block0_has_unit_amplitude():
+    init = InitialStateStore(32, 4)
+    blk = init.get_block(0)
+    assert blk[0] == 1.0
+    assert np.all(blk[1:] == 0)
+
+
+def test_initial_state_store_other_blocks_zero():
+    init = InitialStateStore(32, 4)
+    for b in range(1, 8):
+        assert np.all(init.get_block(b) == 0)
+
+
+def test_initial_state_store_every_block_defined():
+    init = InitialStateStore(32, 4)
+    assert all(init.has_block(b) for b in range(8))
+    assert not init.has_block(8)
+
+
+def test_initial_state_store_out_of_range_raises():
+    init = InitialStateStore(32, 4)
+    with pytest.raises(IndexError):
+        init.get_block(9)
+
+
+def test_initial_state_store_excluded_from_accounting():
+    init = InitialStateStore(32, 4)
+    init.get_block(0)
+    assert init.allocated_bytes() == 0
+
+
+# ---------------------------------------------------------------------------
+# StoreChain
+# ---------------------------------------------------------------------------
+
+
+def _chain_with_layers():
+    """initial |0..0>, layer A writes blocks 1-2, layer B overwrites block 2."""
+    init = InitialStateStore(32, 4)
+    a = BlockStore(32, 4)
+    a.write_block(1, np.full(4, 10.0, dtype=complex))
+    a.write_block(2, np.full(4, 20.0, dtype=complex))
+    b = BlockStore(32, 4)
+    b.write_block(2, np.full(4, 99.0, dtype=complex))
+    return init, a, b, StoreChain([init, a, b])
+
+
+def test_chain_resolves_most_recent_writer():
+    _, _, _, chain = _chain_with_layers()
+    assert chain.resolve_block(2)[0] == 99.0
+    assert chain.resolve_block(1)[0] == 10.0
+    assert chain.resolve_block(0)[0] == 1.0   # initial state
+    assert chain.resolve_block(5)[0] == 0.0
+
+
+def test_chain_read_range_across_blocks():
+    _, _, _, chain = _chain_with_layers()
+    out = chain.read_range(4, 11)  # blocks 1 and 2
+    np.testing.assert_allclose(out[:4], 10.0)
+    np.testing.assert_allclose(out[4:], 99.0)
+
+
+def test_chain_read_range_partial_block():
+    _, _, _, chain = _chain_with_layers()
+    out = chain.read_range(5, 6)
+    np.testing.assert_allclose(out, [10.0, 10.0])
+
+
+def test_chain_read_range_invalid_bounds():
+    _, _, _, chain = _chain_with_layers()
+    with pytest.raises(ValueError):
+        chain.read_range(-1, 3)
+    with pytest.raises(ValueError):
+        chain.read_range(3, 2)
+    with pytest.raises(ValueError):
+        chain.read_range(0, 32)
+
+
+def test_chain_full_vector():
+    _, _, _, chain = _chain_with_layers()
+    vec = chain.full_vector()
+    assert vec.shape == (32,)
+    assert vec[0] == 1.0 and vec[4] == 10.0 and vec[8] == 99.0
+
+
+def test_chain_gather_matches_full_vector():
+    _, _, _, chain = _chain_with_layers()
+    idx = np.array([0, 31, 8, 5, 8, 1], dtype=np.int64)
+    np.testing.assert_allclose(chain.gather(idx), chain.full_vector()[idx])
+
+
+def test_chain_gather_empty():
+    _, _, _, chain = _chain_with_layers()
+    assert chain.gather(np.array([], dtype=np.int64)).shape == (0,)
+
+
+def test_chain_requires_consistent_stores():
+    with pytest.raises(ValueError):
+        StoreChain([BlockStore(32, 4), BlockStore(64, 4)])
+    with pytest.raises(ValueError):
+        StoreChain([])
+
+
+def test_chain_read_range_returns_copy():
+    _, _, b, chain = _chain_with_layers()
+    out = chain.read_range(8, 11)
+    out[:] = -1
+    assert b.get_block(2)[0] == 99.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 7), st.floats(-5, 5)),
+        max_size=12,
+    ),
+    idx=st.lists(st.integers(0, 31), min_size=1, max_size=10),
+)
+def test_chain_gather_property(writes, idx):
+    """gather() always agrees with resolving block by block."""
+    init = InitialStateStore(32, 4)
+    layers = [BlockStore(32, 4) for _ in range(3)]
+    dense = np.zeros(32, dtype=complex)
+    dense[0] = 1.0
+    # apply writes in layer order so the chain semantics match the dense model
+    for layer_order in range(3):
+        for layer, block, value in writes:
+            if layer != layer_order:
+                continue
+            data = np.full(4, value, dtype=complex)
+            layers[layer].write_block(block, data)
+            dense[block * 4 : block * 4 + 4] = value
+    chain = StoreChain([init] + layers)
+    np.testing.assert_allclose(chain.gather(np.array(idx)), dense[np.array(idx)])
+
+
+# ---------------------------------------------------------------------------
+# MemoryReport
+# ---------------------------------------------------------------------------
+
+
+def test_memory_report_accounting():
+    a = BlockStore(32, 4)
+    a.write_block(0, np.zeros(4, dtype=complex))
+    b = BlockStore(32, 4)
+    report = MemoryReport.from_stores([a, b])
+    assert report.num_stores == 2
+    assert report.stored_blocks == 1
+    assert report.total_blocks == 16
+    assert report.allocated_bytes == 64
+    assert report.dense_bytes == 2 * 32 * 16
+    assert 0.9 < report.savings_fraction <= 1.0
+
+
+def test_memory_report_empty():
+    report = MemoryReport.from_stores([])
+    assert report.allocated_bytes == 0
+    assert report.savings_fraction == 0.0

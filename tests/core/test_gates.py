@@ -1,0 +1,302 @@
+"""Tests for the gate database, matrices and action classification."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import GateArityError, UnknownGateError
+from repro.core.gates import (
+    DiagonalAction,
+    Gate,
+    MatVecAction,
+    MonomialAction,
+    STANDARD_GATE_NAMES,
+    classify_gate,
+    classify_matrix,
+    controlled_matrix,
+    embed_gate_matrix,
+    gate_matrix,
+    get_spec,
+    is_superposition_gate,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table I: the standard gate set
+# ---------------------------------------------------------------------------
+
+
+def test_table1_standard_gates_all_registered():
+    for name in STANDARD_GATE_NAMES:
+        spec = get_spec(name)
+        assert spec.num_qubits in (1, 2)
+
+
+@pytest.mark.parametrize("name", ["cnot", "cx"])
+def test_cnot_alias(name):
+    assert get_spec(name).name == "cx"
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("id", ()), ("x", ()), ("y", ()), ("z", ()), ("h", ()), ("s", ()),
+        ("sdg", ()), ("t", ()), ("tdg", ()), ("sx", ()),
+        ("rx", (0.7,)), ("ry", (1.1,)), ("rz", (2.3,)), ("p", (0.9,)),
+        ("u2", (0.4, 1.2)), ("u3", (0.3, 0.5, 0.7)),
+        ("cx", ()), ("cy", ()), ("cz", ()), ("ch", ()), ("swap", ()),
+        ("crx", (0.5,)), ("cry", (0.6,)), ("crz", (0.7,)), ("cp", (0.8,)),
+        ("rzz", (0.9,)), ("rxx", (1.0,)),
+        ("ccx", ()), ("ccz", ()), ("cswap", ()),
+    ],
+)
+def test_all_gate_matrices_are_unitary(name, params):
+    m = gate_matrix(name, *params)
+    dim = m.shape[0]
+    np.testing.assert_allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(UnknownGateError):
+        gate_matrix("frobnicate")
+
+
+def test_wrong_parameter_count_raises():
+    with pytest.raises(GateArityError):
+        gate_matrix("rx")
+    with pytest.raises(GateArityError):
+        gate_matrix("h", 0.3)
+
+
+# ---------------------------------------------------------------------------
+# Matrix values for a few textbook gates
+# ---------------------------------------------------------------------------
+
+
+def test_hadamard_matrix_value():
+    h = gate_matrix("h")
+    np.testing.assert_allclose(h, np.array([[1, 1], [1, -1]]) / math.sqrt(2))
+
+
+def test_x_matrix_value():
+    np.testing.assert_allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+
+
+def test_cnot_matrix_in_local_convention():
+    # local bit 0 = control, local bit 1 = target
+    cx = gate_matrix("cx")
+    # |c=1,t=0> (index 1) <-> |c=1,t=1> (index 3)
+    assert cx[3, 1] == 1 and cx[1, 3] == 1
+    assert cx[0, 0] == 1 and cx[2, 2] == 1
+    assert cx[1, 1] == 0
+
+
+def test_s_squared_is_z():
+    s = gate_matrix("s")
+    np.testing.assert_allclose(s @ s, gate_matrix("z"))
+
+
+def test_t_squared_is_s():
+    t = gate_matrix("t")
+    np.testing.assert_allclose(t @ t, gate_matrix("s"))
+
+
+def test_sdg_is_s_dagger():
+    np.testing.assert_allclose(gate_matrix("sdg"), gate_matrix("s").conj().T)
+
+
+def test_tdg_is_t_dagger():
+    np.testing.assert_allclose(gate_matrix("tdg"), gate_matrix("t").conj().T)
+
+
+def test_rz_diagonal_values():
+    theta = 0.77
+    rz = gate_matrix("rz", theta)
+    assert rz[0, 1] == 0 and rz[1, 0] == 0
+    np.testing.assert_allclose(np.angle(rz[1, 1]) - np.angle(rz[0, 0]), theta)
+
+
+def test_u3_specializations():
+    np.testing.assert_allclose(gate_matrix("u3", np.pi, 0, np.pi), gate_matrix("x"),
+                               atol=1e-12)
+    np.testing.assert_allclose(gate_matrix("u2", 0, np.pi), gate_matrix("h"), atol=1e-12)
+
+
+def test_controlled_matrix_of_x_is_cx():
+    np.testing.assert_allclose(controlled_matrix(gate_matrix("x")), gate_matrix("cx"))
+
+
+def test_controlled_matrix_two_controls_is_ccx():
+    np.testing.assert_allclose(controlled_matrix(gate_matrix("x"), 2), gate_matrix("ccx"))
+
+
+def test_swap_matrix_is_permutation():
+    sw = gate_matrix("swap")
+    assert np.count_nonzero(sw) == 4
+    np.testing.assert_allclose(sw @ sw, np.eye(4))
+
+
+def test_rzz_is_diagonal():
+    rzz = gate_matrix("rzz", 0.3)
+    assert np.count_nonzero(rzz - np.diag(np.diag(rzz))) == 0
+
+
+# ---------------------------------------------------------------------------
+# Classification (the heart of §III.C)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,params,expected",
+    [
+        ("z", (), DiagonalAction), ("s", (), DiagonalAction), ("t", (), DiagonalAction),
+        ("sdg", (), DiagonalAction), ("tdg", (), DiagonalAction),
+        ("rz", (0.4,), DiagonalAction), ("p", (0.4,), DiagonalAction),
+        ("cz", (), DiagonalAction), ("cp", (0.4,), DiagonalAction),
+        ("rzz", (0.4,), DiagonalAction), ("ccz", (), DiagonalAction),
+        ("x", (), MonomialAction), ("y", (), MonomialAction),
+        ("cx", (), MonomialAction), ("cy", (), MonomialAction),
+        ("swap", (), MonomialAction), ("ccx", (), MonomialAction),
+        ("cswap", (), MonomialAction),
+        ("h", (), MatVecAction), ("sx", (), MatVecAction),
+        ("rx", (0.4,), MatVecAction), ("ry", (0.4,), MatVecAction),
+        ("u2", (0.1, 0.2), MatVecAction), ("u3", (0.1, 0.2, 0.3), MatVecAction),
+        ("ch", (), MatVecAction), ("rxx", (0.4,), MatVecAction),
+    ],
+)
+def test_gate_classification(name, params, expected):
+    action = classify_matrix(gate_matrix(name, *params))
+    assert isinstance(action, expected)
+
+
+def test_rx_pi_is_monomial_not_superposition():
+    """RX(pi) does not create superposition (paper §III.C)."""
+    action = classify_matrix(gate_matrix("rx", math.pi))
+    assert isinstance(action, MonomialAction)
+
+
+def test_rx_half_pi_is_superposition():
+    action = classify_matrix(gate_matrix("rx", math.pi / 2))
+    assert isinstance(action, MatVecAction)
+
+
+def test_ry_pi_is_monomial():
+    assert isinstance(classify_matrix(gate_matrix("ry", math.pi)), MonomialAction)
+
+
+def test_rz_any_angle_is_diagonal():
+    for theta in (0.0, 0.1, math.pi, 5.0):
+        assert isinstance(classify_matrix(gate_matrix("rz", theta)), DiagonalAction)
+
+
+def test_identity_classification_has_no_touched_locals():
+    action = classify_matrix(gate_matrix("id"))
+    assert isinstance(action, DiagonalAction)
+    assert action.touched_locals() == ()
+
+
+def test_diagonal_touched_locals_z():
+    action = classify_matrix(gate_matrix("z"))
+    assert action.touched_locals() == (1,)
+
+
+def test_diagonal_touched_locals_cz():
+    action = classify_matrix(gate_matrix("cz"))
+    assert action.touched_locals() == (3,)
+
+
+def test_monomial_orbits_of_x():
+    action = classify_matrix(gate_matrix("x"))
+    assert action.orbits() == ((0, 1),)
+
+
+def test_monomial_orbits_of_cnot():
+    action = classify_matrix(gate_matrix("cx"))
+    # locals 1 (c=1,t=0) and 3 (c=1,t=1) swap
+    assert action.orbits() == ((1, 3),)
+
+
+def test_monomial_orbits_of_swap():
+    action = classify_matrix(gate_matrix("swap"))
+    assert action.orbits() == ((1, 2),)
+
+
+def test_classify_rejects_non_square():
+    with pytest.raises(ValueError):
+        classify_matrix(np.ones((2, 3)))
+
+
+def test_classify_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        classify_matrix(np.eye(3))
+
+
+# ---------------------------------------------------------------------------
+# Gate instances
+# ---------------------------------------------------------------------------
+
+
+def test_gate_instance_normalizes_alias():
+    g = Gate("cnot", (0, 1))
+    assert g.name == "cx"
+
+
+def test_gate_wrong_arity_raises():
+    with pytest.raises(GateArityError):
+        Gate("cx", (0,))
+    with pytest.raises(GateArityError):
+        Gate("h", (0, 1))
+
+
+def test_gate_duplicate_qubits_raise():
+    with pytest.raises(GateArityError):
+        Gate("cx", (2, 2))
+
+
+def test_gate_wrong_params_raise():
+    with pytest.raises(GateArityError):
+        Gate("rx", (0,))
+
+
+def test_is_superposition_gate():
+    assert is_superposition_gate(Gate("h", (0,)))
+    assert not is_superposition_gate(Gate("cx", (0, 1)))
+    assert not is_superposition_gate(Gate("rz", (0,), (0.3,)))
+
+
+def test_classify_gate_matches_matrix_classification():
+    g = Gate("swap", (1, 3))
+    assert isinstance(classify_gate(g), MonomialAction)
+
+
+# ---------------------------------------------------------------------------
+# embed_gate_matrix (the test oracle itself gets sanity checks)
+# ---------------------------------------------------------------------------
+
+
+def test_embed_single_qubit_matches_kron():
+    g = Gate("h", (0,))
+    expected = np.kron(np.eye(2), gate_matrix("h"))  # qubit 0 = least significant
+    np.testing.assert_allclose(embed_gate_matrix(g, 2), expected)
+
+
+def test_embed_single_qubit_high_position():
+    g = Gate("x", (1,))
+    expected = np.kron(gate_matrix("x"), np.eye(2))
+    np.testing.assert_allclose(embed_gate_matrix(g, 2), expected)
+
+
+def test_embed_cx_action_on_basis_states():
+    g = Gate("cx", (0, 1))  # control q0, target q1
+    m = embed_gate_matrix(g, 2)
+    # |01> (q0=1, q1=0) -> |11>
+    psi = np.zeros(4); psi[0b01] = 1
+    out = m @ psi
+    assert abs(out[0b11] - 1) < 1e-12
+
+
+def test_embed_is_unitary_for_three_qubit_gate():
+    g = Gate("ccx", (2, 0, 4))
+    m = embed_gate_matrix(g, 5)
+    np.testing.assert_allclose(m @ m.conj().T, np.eye(32), atol=1e-12)

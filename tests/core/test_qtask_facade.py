@@ -1,0 +1,121 @@
+"""Tests for the QTask facade (the paper's Listing-1 programming model)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import QTask
+from repro.core.exceptions import NetDependencyError
+from repro.core.gates import Gate
+
+from ..conftest import assert_states_close, circuit_levels, reference_state
+
+
+def test_listing1_workflow_end_to_end():
+    """Reproduce Listing 1: build Figure 2, simulate, modify, re-simulate."""
+    ckt = QTask(5, block_size=4, num_workers=1)
+    q4, q3, q2, q1, q0 = ckt.qubits()
+    net1 = ckt.insert_net()
+    net2 = ckt.insert_net(net1)
+    net3 = ckt.insert_net(net2)
+    net4 = ckt.insert_net(net3)
+    net5 = ckt.insert_net(net4)
+    for q in (q4, q3, q2, q1, q0):
+        ckt.insert_gate("h", net1, q)
+    G6 = ckt.insert_gate("cnot", net2, q3, q4)
+    G7 = ckt.insert_gate("cnot", net3, q1, q4)
+    G8 = ckt.insert_gate("cnot", net4, q2, q3)
+    G9 = ckt.insert_gate("cnot", net5, q0, q2)
+
+    dot = ckt.dump_graph()
+    assert "digraph" in dot
+
+    report = ckt.update_state()          # full update
+    assert report.affected_partitions == report.total_partitions
+
+    levels = [[Gate("h", (q,)) for q in (4, 3, 2, 1, 0)],
+              [Gate("cx", (3, 4))], [Gate("cx", (1, 4))],
+              [Gate("cx", (2, 3))], [Gate("cx", (0, 2))]]
+    assert_states_close(ckt.state(), reference_state(5, levels))
+
+    # modify the circuit: remove G8, insert G10, incremental update
+    ckt.remove_gate(G8)
+    G10 = ckt.insert_gate("cnot", net4, q1, q2)
+    report2 = ckt.update_state()         # incremental update
+    assert report2.affected_partitions < report.total_partitions
+
+    levels2 = [[Gate("h", (q,)) for q in (4, 3, 2, 1, 0)],
+               [Gate("cx", (3, 4))], [Gate("cx", (1, 4))],
+               [Gate("cx", (1, 2))], [Gate("cx", (0, 2))]]
+    assert_states_close(ckt.state(), reference_state(5, levels2))
+    ckt.close()
+
+
+def test_facade_throws_on_net_dependency():
+    ckt = QTask(3, num_workers=1)
+    net = ckt.insert_net()
+    ckt.insert_gate("cx", net, 0, 1)
+    with pytest.raises(NetDependencyError):
+        ckt.insert_gate("h", net, 0)
+    ckt.close()
+
+
+def test_facade_structural_queries():
+    with QTask(4, block_size=2, num_workers=1) as ckt:
+        assert ckt.num_qubits == 4
+        assert ckt.qubits() == (3, 2, 1, 0)
+        net = ckt.insert_net()
+        ckt.insert_gate("h", net, 0)
+        assert ckt.num_gates == 1
+        assert ckt.num_nets == 1
+        assert len(ckt.nets()) == 1
+        assert "QTask" in repr(ckt)
+
+
+def test_facade_queries_after_update():
+    with QTask(2, block_size=2, num_workers=1) as ckt:
+        net = ckt.insert_net()
+        ckt.insert_gate("h", net, 1)
+        net2 = ckt.insert_net()
+        ckt.insert_gate("cx", net2, 1, 0)
+        ckt.update_state()
+        assert abs(ckt.probability(0b00) - 0.5) < 1e-9
+        assert abs(ckt.probability(0b11) - 0.5) < 1e-9
+        assert abs(ckt.amplitude(0b01)) < 1e-12
+        probs = ckt.probabilities()
+        assert abs(probs.sum() - 1) < 1e-9
+        assert ckt.memory_report().allocated_bytes > 0
+        assert ckt.statistics()["num_updates"] == 1
+
+
+def test_facade_dump_graph_to_stream():
+    with QTask(2, block_size=2, num_workers=1) as ckt:
+        net = ckt.insert_net()
+        ckt.insert_gate("x", net, 0)
+        buf = io.StringIO()
+        text = ckt.dump_graph(buf)
+        assert buf.getvalue() == text
+        assert "digraph" in text
+
+
+def test_facade_remove_net():
+    with QTask(3, block_size=2, num_workers=1) as ckt:
+        net1 = ckt.insert_net()
+        net2 = ckt.insert_net()
+        ckt.insert_gate("h", net1, 0)
+        ckt.insert_gate("x", net2, 1)
+        ckt.update_state()
+        ckt.remove_net(net2)
+        ckt.update_state()
+        levels = [[Gate("h", (0,))]]
+        assert_states_close(ckt.state(), reference_state(3, levels))
+
+
+def test_facade_gate_params_passthrough():
+    with QTask(2, block_size=2, num_workers=1) as ckt:
+        net = ckt.insert_net()
+        ckt.insert_gate("rx", net, 0, params=(np.pi,))
+        ckt.update_state()
+        # RX(pi)|0> = -i|1>
+        assert abs(abs(ckt.amplitude(1)) - 1.0) < 1e-9

@@ -1,0 +1,306 @@
+"""End-to-end correctness tests for the incremental simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.simulator import QTaskSimulator
+from repro.parallel import SequentialExecutor, WorkStealingExecutor
+
+from ..conftest import (
+    assert_states_close,
+    circuit_levels,
+    random_levels,
+    reference_state,
+)
+
+
+def make_sim(n, levels, **kwargs):
+    ckt = Circuit(n)
+    sim = QTaskSimulator(ckt, **kwargs)
+    ckt.from_levels(levels)
+    return ckt, sim
+
+
+BELL_LEVELS = [[Gate("h", (1,))], [Gate("cx", (1, 0))]]
+
+
+# ---------------------------------------------------------------------------
+# full simulation
+# ---------------------------------------------------------------------------
+
+
+def test_bell_state(rng):
+    ckt, sim = make_sim(2, BELL_LEVELS, block_size=2, num_workers=1)
+    sim.update_state()
+    expected = np.zeros(4, dtype=complex)
+    expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+    assert_states_close(sim.state(), expected)
+    sim.close()
+
+
+def test_empty_circuit_is_initial_state():
+    ckt = Circuit(3)
+    sim = QTaskSimulator(ckt, block_size=4, num_workers=1)
+    sim.update_state()
+    expected = np.zeros(8, dtype=complex)
+    expected[0] = 1
+    assert_states_close(sim.state(), expected)
+    sim.close()
+
+
+@pytest.mark.parametrize("block_size", [1, 2, 8, 64, 1024])
+def test_full_simulation_matches_reference_across_block_sizes(rng, block_size):
+    levels = random_levels(rng, 5, 6)
+    ckt, sim = make_sim(5, levels, block_size=block_size, num_workers=1)
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(5, levels))
+    sim.close()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_full_simulation_matches_reference_across_workers(rng, workers):
+    levels = random_levels(rng, 6, 5)
+    ckt, sim = make_sim(6, levels, block_size=8, num_workers=workers)
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(6, levels))
+    sim.close()
+
+
+def test_external_executor_is_not_closed():
+    executor = SequentialExecutor()
+    ckt = Circuit(2)
+    sim = QTaskSimulator(ckt, block_size=2, executor=executor)
+    ckt.from_levels(BELL_LEVELS)
+    sim.update_state()
+    sim.close()
+    # the executor still works after the simulator released it
+    executor.map(lambda x: x, [1, 2])
+
+
+def test_executor_and_workers_are_mutually_exclusive():
+    ckt = Circuit(2)
+    with pytest.raises(Exception):
+        QTaskSimulator(ckt, executor=SequentialExecutor(), num_workers=2)
+
+
+def test_norm_preserved_on_random_circuits(rng):
+    levels = random_levels(rng, 6, 8)
+    ckt, sim = make_sim(6, levels, block_size=16, num_workers=1)
+    sim.update_state()
+    assert abs(sim.norm() - 1.0) < 1e-9
+    sim.close()
+
+
+def test_attach_simulator_to_prebuilt_circuit(rng):
+    """The simulator adopts gates already present at attach time."""
+    levels = random_levels(rng, 4, 4)
+    ckt = Circuit(4)
+    ckt.from_levels(levels)
+    sim = QTaskSimulator(ckt, block_size=4, num_workers=1)
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(4, levels))
+    sim.close()
+
+
+# ---------------------------------------------------------------------------
+# incremental simulation
+# ---------------------------------------------------------------------------
+
+
+def test_incremental_insert_gate_matches_full(rng):
+    levels = random_levels(rng, 4, 4)
+    ckt, sim = make_sim(4, levels, block_size=4, num_workers=1)
+    sim.update_state()
+    # append a new net
+    net = ckt.insert_net()
+    ckt.insert_gate("cx", net, 0, 3)
+    report = sim.update_state()
+    assert report.was_incremental
+    new_levels = circuit_levels(ckt)
+    assert_states_close(sim.state(), reference_state(4, new_levels))
+    sim.close()
+
+
+def test_incremental_remove_gate_matches_full(rng):
+    levels = random_levels(rng, 4, 5)
+    ckt, sim = make_sim(4, levels, block_size=4, num_workers=1)
+    sim.update_state()
+    victim = ckt.gates()[len(ckt.gates()) // 2]
+    ckt.remove_gate(victim)
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(4, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_incremental_insert_into_middle_net(rng):
+    levels = random_levels(rng, 5, 5)
+    ckt, sim = make_sim(5, levels, block_size=8, num_workers=1)
+    sim.update_state()
+    # insert a gate into an existing middle net on a free qubit
+    for net in ckt.nets():
+        used = net.qubits_in_use()
+        free = [q for q in range(5) if q not in used]
+        if free:
+            ckt.insert_gate("x", net, free[0])
+            break
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(5, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_incremental_remove_whole_net(rng):
+    levels = random_levels(rng, 4, 5)
+    ckt, sim = make_sim(4, levels, block_size=4, num_workers=1)
+    sim.update_state()
+    ckt.remove_net(ckt.nets()[1])
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(4, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_incremental_update_touches_fewer_partitions_than_full():
+    """Modifying the tail of a deep circuit must not re-simulate everything."""
+    n = 5
+    levels = [[Gate("h", (q,)) for q in range(n)]] + [
+        [Gate("cx", (q, (q + 1) % n))] for q in range(n)
+    ] * 3
+    ckt, sim = make_sim(n, levels, block_size=4, num_workers=1)
+    full_report = sim.update_state()
+    last_net = ckt.nets()[-1]
+    victim = last_net.gates[0]
+    ckt.remove_gate(victim)
+    inc_report = sim.update_state()
+    assert inc_report.affected_partitions < full_report.affected_partitions
+    assert_states_close(sim.state(), reference_state(n, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_multiple_modifiers_between_updates(rng):
+    levels = random_levels(rng, 5, 6)
+    ckt, sim = make_sim(5, levels, block_size=8, num_workers=1)
+    sim.update_state()
+    # batch: remove two gates, add a net with two gates, then one update call
+    gates = ckt.gates()
+    ckt.remove_gate(gates[0])
+    ckt.remove_gate(gates[-1])
+    net = ckt.insert_net()
+    ckt.insert_gate("h", net, 0)
+    ckt.insert_gate("cz", net, 1, 2)
+    sim.update_state()
+    assert_states_close(sim.state(), reference_state(5, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_update_with_no_modifiers_is_a_noop():
+    ckt, sim = make_sim(3, BELL_LEVELS + [[Gate("x", (2,))]], block_size=2, num_workers=1)
+    sim.update_state()
+    before = sim.state()
+    report = sim.update_state()
+    assert report.affected_partitions == 0
+    assert_states_close(sim.state(), before)
+    sim.close()
+
+
+def test_incremental_sequence_of_many_iterations(rng):
+    """A long randomized modifier/update sequence stays consistent."""
+    n = 4
+    levels = random_levels(rng, n, 6)
+    ckt, sim = make_sim(n, levels, block_size=4, num_workers=1)
+    sim.update_state()
+    net_handles = ckt.nets()
+    for it in range(12):
+        gates = ckt.gates()
+        if gates and rng.random() < 0.6:
+            ckt.remove_gate(rng.choice(gates))
+        target_net = rng.choice(net_handles)
+        used = target_net.qubits_in_use()
+        free = [q for q in range(n) if q not in used]
+        if free:
+            name = rng.choice(["h", "x", "t", "z"])
+            ckt.insert_gate(name, target_net, rng.choice(free))
+        sim.update_state()
+        assert_states_close(sim.state(), reference_state(n, circuit_levels(ckt)))
+    sim.close()
+
+
+def test_rebuild_from_empty_to_full_level_by_level(rng):
+    """The paper's incremental protocol: one update per net."""
+    n = 5
+    levels = random_levels(rng, n, 8)
+    ckt = Circuit(n)
+    sim = QTaskSimulator(ckt, block_size=8, num_workers=1)
+    built = []
+    for level in levels:
+        net = ckt.insert_net()
+        for g in level:
+            ckt.insert_gate(g, net)
+        built.append(level)
+        sim.update_state()
+        assert_states_close(sim.state(), reference_state(n, built))
+    sim.close()
+
+
+# ---------------------------------------------------------------------------
+# copy-on-write ablation
+# ---------------------------------------------------------------------------
+
+
+def test_copy_on_write_disabled_gives_same_state(rng):
+    levels = random_levels(rng, 4, 5)
+    _, sim_cow = make_sim(4, levels, block_size=4, num_workers=1, copy_on_write=True)
+    _, sim_dense = make_sim(4, levels, block_size=4, num_workers=1, copy_on_write=False)
+    sim_cow.update_state()
+    sim_dense.update_state()
+    assert_states_close(sim_cow.state(), sim_dense.state())
+    sim_cow.close()
+    sim_dense.close()
+
+
+def test_copy_on_write_uses_less_memory():
+    n = 6
+    levels = [[Gate("h", (5,))]] + [[Gate("cz", (5, q))] for q in range(4)]
+    _, cow = make_sim(n, levels, block_size=4, num_workers=1, copy_on_write=True)
+    _, dense = make_sim(n, levels, block_size=4, num_workers=1, copy_on_write=False)
+    cow.update_state()
+    dense.update_state()
+    assert cow.memory_report().allocated_bytes < dense.memory_report().allocated_bytes
+    cow.close()
+    dense.close()
+
+
+# ---------------------------------------------------------------------------
+# queries and reports
+# ---------------------------------------------------------------------------
+
+
+def test_amplitude_probability_queries():
+    ckt, sim = make_sim(2, BELL_LEVELS, block_size=2, num_workers=1)
+    sim.update_state()
+    assert abs(sim.amplitude(0) - 1 / np.sqrt(2)) < 1e-9
+    assert abs(sim.probability(3) - 0.5) < 1e-9
+    assert abs(sim.probabilities().sum() - 1.0) < 1e-9
+    with pytest.raises(IndexError):
+        sim.amplitude(4)
+    sim.close()
+
+
+def test_statistics_and_memory_report_keys():
+    ckt, sim = make_sim(3, BELL_LEVELS, block_size=2, num_workers=1)
+    report = sim.update_state()
+    stats = sim.statistics()
+    for key in ("num_stages", "num_nodes", "block_size", "num_updates", "num_workers"):
+        assert key in stats
+    assert report.total_partitions >= report.affected_partitions
+    assert 0.0 <= report.affected_fraction <= 1.0
+    mem = sim.memory_report()
+    assert mem.allocated_bytes > 0
+    sim.close()
+
+
+def test_update_report_elapsed_positive():
+    ckt, sim = make_sim(3, BELL_LEVELS, block_size=2, num_workers=1)
+    report = sim.update_state()
+    assert report.elapsed_seconds > 0
+    sim.close()

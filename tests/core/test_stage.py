@@ -1,0 +1,182 @@
+"""Tests for UnitaryStage and MatVecStage behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockRange
+from repro.core.cow import InitialStateStore, StoreChain
+from repro.core.gates import Gate, embed_gate_matrix, gate_matrix
+from repro.core.stage import MatVecStage, UnitaryStage
+
+
+def make_chain(n, block=4, state=None):
+    init = InitialStateStore(1 << n, block)
+    if state is not None:
+        for b in range(init.n_blocks):
+            init._blocks[b] = np.array(state[b * block : (b + 1) * block], dtype=complex)
+    return StoreChain([init])
+
+
+def run_stage(stage, reader):
+    stage.prepare(reader)
+    for spec in stage.partition_specs():
+        for task in stage.block_tasks(reader, spec.block_range):
+            task()
+
+
+def resolved_output(stage, reader_chain):
+    """Stage output with untouched blocks falling through to the input."""
+    chain = StoreChain([reader_chain._stores[0], stage.store])
+    return chain.full_vector()
+
+
+# ---------------------------------------------------------------------------
+# UnitaryStage
+# ---------------------------------------------------------------------------
+
+
+def test_unitary_stage_rejects_superposition_gates():
+    with pytest.raises(ValueError):
+        UnitaryStage(Gate("h", (0,)), 3, 4)
+
+
+def test_unitary_stage_applies_cx_to_initial_state():
+    n = 3
+    gate = Gate("x", (0,))
+    stage = UnitaryStage(gate, n, 4)
+    chain = make_chain(n)
+    run_stage(stage, chain)
+    out = resolved_output(stage, chain)
+    expected = embed_gate_matrix(gate, n) @ chain.full_vector()
+    np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+def test_unitary_stage_on_random_state():
+    n = 4
+    rng = np.random.default_rng(3)
+    psi = rng.normal(size=16) + 1j * rng.normal(size=16)
+    gate = Gate("cx", (3, 1))
+    stage = UnitaryStage(gate, n, 4)
+    chain = make_chain(n, 4, psi)
+    run_stage(stage, chain)
+    np.testing.assert_allclose(
+        resolved_output(stage, chain), embed_gate_matrix(gate, n) @ psi, atol=1e-12
+    )
+
+
+def test_unitary_stage_writes_only_partition_blocks():
+    n = 5
+    gate = Gate("cz", (4, 3))   # touches the top quarter only
+    stage = UnitaryStage(gate, n, 4)
+    chain = make_chain(n)
+    run_stage(stage, chain)
+    assert stage.store.stored_blocks() == (6, 7)
+
+
+def test_unitary_stage_total_block_count():
+    stage = UnitaryStage(Gate("cx", (4, 3)), 5, 4)
+    assert stage.total_block_count() == 4
+    stage2 = UnitaryStage(Gate("cx", (3, 2)), 5, 4)
+    assert stage2.total_block_count() == 4  # two partitions of two blocks
+
+
+def test_unitary_stage_label_and_gate_list():
+    gate = Gate("swap", (0, 2))
+    stage = UnitaryStage(gate, 3, 4)
+    assert stage.gate_list() == (gate,)
+    assert "swap" in stage.label()
+    assert not stage.reads_all_blocks()
+    assert not stage.writes_all_blocks()
+
+
+# ---------------------------------------------------------------------------
+# MatVecStage
+# ---------------------------------------------------------------------------
+
+
+def test_matvec_stage_single_hadamard():
+    n = 3
+    gate = Gate("h", (1,))
+    stage = MatVecStage([gate], n, 4)
+    chain = make_chain(n)
+    run_stage(stage, chain)
+    expected = embed_gate_matrix(gate, n) @ chain.full_vector()
+    np.testing.assert_allclose(resolved_output(stage, chain), expected, atol=1e-12)
+
+
+def test_matvec_stage_multiple_gates_disjoint_qubits():
+    n = 4
+    gates = [Gate("h", (0,)), Gate("ry", (2,), (0.8,))]
+    stage = MatVecStage(gates, n, 4)
+    rng = np.random.default_rng(5)
+    psi = rng.normal(size=16) + 1j * rng.normal(size=16)
+    chain = make_chain(n, 4, psi)
+    run_stage(stage, chain)
+    expected = psi
+    for g in gates:
+        expected = embed_gate_matrix(g, n) @ expected
+    np.testing.assert_allclose(resolved_output(stage, chain), expected, atol=1e-12)
+
+
+def test_matvec_stage_combined_path_matches_prepared_path():
+    n = 4
+    gates = [Gate("h", (1,)), Gate("rx", (3,), (0.4,))]
+    rng = np.random.default_rng(9)
+    psi = rng.normal(size=16) + 1j * rng.normal(size=16)
+
+    prepared = MatVecStage(list(gates), n, 4, combine_limit=0)
+    combined = MatVecStage(list(gates), n, 4, combine_limit=8)
+    chain1 = make_chain(n, 4, psi)
+    chain2 = make_chain(n, 4, psi)
+    run_stage(prepared, chain1)
+    run_stage(combined, chain2)
+    np.testing.assert_allclose(
+        resolved_output(prepared, chain1), resolved_output(combined, chain2), atol=1e-12
+    )
+
+
+def test_matvec_stage_rejects_overlapping_qubits():
+    stage = MatVecStage([Gate("h", (1,))], 3, 4)
+    with pytest.raises(ValueError):
+        stage.add_gate(Gate("rx", (1,), (0.3,)))
+
+
+def test_matvec_stage_add_remove_gate_membership():
+    stage = MatVecStage([Gate("h", (0,))], 3, 4)
+    g = Gate("h", (2,))
+    stage.add_gate(g)
+    assert len(stage.gate_list()) == 2
+    stage.remove_gate(g)
+    assert len(stage.gate_list()) == 1
+    stage.remove_gate(stage.gate_list()[0])
+    assert stage.is_empty
+    assert stage.partition_specs() == []
+
+
+def test_matvec_stage_combined_matrix_is_tensor_product():
+    stage = MatVecStage([Gate("h", (0,)), Gate("x", (2,))], 3, 4)
+    expected = np.kron(gate_matrix("x"), gate_matrix("h"))
+    np.testing.assert_allclose(stage.combined_matrix(), expected)
+    assert stage.combined_qubits() == (0, 2)
+
+
+def test_matvec_stage_reads_and_writes_all_blocks():
+    stage = MatVecStage([Gate("h", (0,))], 4, 4)
+    assert stage.reads_all_blocks()
+    assert stage.writes_all_blocks()
+
+
+def test_matvec_stage_writes_every_block():
+    n = 4
+    stage = MatVecStage([Gate("h", (3,))], n, 4)
+    chain = make_chain(n)
+    run_stage(stage, chain)
+    assert stage.store.stored_blocks() == tuple(range(4))
+
+
+def test_stage_write_full_helper():
+    stage = UnitaryStage(Gate("x", (0,)), 3, 4)
+    vec = np.arange(8, dtype=complex)
+    stage.write_full(vec)
+    assert stage.store.num_stored_blocks == 2
+    np.testing.assert_allclose(stage.store.get_block(1), [4, 5, 6, 7])

@@ -1,0 +1,263 @@
+"""Tests for the sequential and work-stealing executors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.exceptions import ExecutorError
+from repro.parallel import (
+    SequentialExecutor,
+    TaskGraph,
+    WorkStealingExecutor,
+    chunk_indices,
+    make_executor,
+    parallel_for,
+)
+from repro.parallel.workqueue import StealScheduler, WorkDeque
+
+EXECUTOR_FACTORIES = [
+    lambda: SequentialExecutor(),
+    lambda: WorkStealingExecutor(2),
+    lambda: WorkStealingExecutor(4),
+]
+
+
+def diamond_graph(log):
+    g = TaskGraph("diamond")
+    a = g.emplace(lambda: log.append("a"), "a")
+    b = g.emplace(lambda: log.append("b"), "b")
+    c = g.emplace(lambda: log.append("c"), "c")
+    d = g.emplace(lambda: log.append("d"), "d")
+    a.precede(b, c)
+    d.succeed(b, c)
+    return g
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_respects_dependencies(factory):
+    log = []
+    ex = factory()
+    try:
+        ex.run(diamond_graph(log))
+    finally:
+        ex.close()
+    assert sorted(log) == ["a", "b", "c", "d"]
+    assert log[0] == "a" and log[-1] == "d"
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_runs_every_task_once(factory):
+    counter = {"n": 0}
+    lock = threading.Lock()
+    g = TaskGraph()
+
+    def bump():
+        with lock:
+            counter["n"] += 1
+
+    tasks = [g.emplace(bump, f"t{i}") for i in range(50)]
+    for i in range(1, 50):
+        tasks[i - 1].precede(tasks[i])
+    ex = factory()
+    try:
+        ex.run(g)
+    finally:
+        ex.close()
+    assert counter["n"] == 50
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_subflow_joins_before_successors(factory):
+    """A task spawning a subflow must complete all children before its succs."""
+    seen = []
+    lock = threading.Lock()
+    g = TaskGraph()
+
+    def parent():
+        return [lambda i=i: seen.append(f"child{i}") for i in range(8)]
+
+    p = g.emplace(parent, "parent")
+    after = g.emplace(lambda: seen.append("after"), "after")
+    p.precede(after)
+    ex = factory()
+    try:
+        ex.run(g)
+    finally:
+        ex.close()
+    assert seen[-1] == "after"
+    assert sorted(seen[:-1]) == [f"child{i}" for i in range(8)]
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_map_preserves_order(factory):
+    ex = factory()
+    try:
+        out = ex.map(lambda x: x * x, list(range(37)))
+    finally:
+        ex.close()
+    assert out == [x * x for x in range(37)]
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_map_empty(factory):
+    ex = factory()
+    try:
+        assert ex.map(lambda x: x, []) == []
+    finally:
+        ex.close()
+
+
+@pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+def test_executor_empty_graph(factory):
+    ex = factory()
+    try:
+        ex.run(TaskGraph())
+    finally:
+        ex.close()
+
+
+def test_work_stealing_executor_propagates_exceptions():
+    g = TaskGraph()
+
+    def boom():
+        raise ValueError("boom")
+
+    g.emplace(boom)
+    ex = WorkStealingExecutor(2)
+    try:
+        with pytest.raises(ValueError, match="boom"):
+            ex.run(g)
+    finally:
+        ex.close()
+
+
+def test_sequential_executor_nested_subflows():
+    seen = []
+    g = TaskGraph()
+
+    def parent():
+        def child():
+            return [lambda: seen.append("grandchild")]
+        return [child]
+
+    g.emplace(parent)
+    SequentialExecutor().run(g)
+    assert seen == ["grandchild"]
+
+
+def test_work_stealing_executor_actually_uses_threads():
+    g = TaskGraph()
+    threads = set()
+    lock = threading.Lock()
+
+    def record():
+        with lock:
+            threads.add(threading.current_thread().name)
+        time.sleep(0.01)
+
+    for i in range(16):
+        g.emplace(record)
+    ex = WorkStealingExecutor(4)
+    try:
+        ex.run(g)
+    finally:
+        ex.close()
+    assert len(threads) >= 2
+
+
+def test_executor_rejects_cyclic_graph():
+    g = TaskGraph()
+    a, b = g.emplace(lambda: None), g.emplace(lambda: None)
+    a.precede(b)
+    b.precede(a)
+    with pytest.raises(ExecutorError):
+        SequentialExecutor().run(g)
+
+
+def test_make_executor_selects_implementation():
+    assert isinstance(make_executor(1), SequentialExecutor)
+    assert isinstance(make_executor(0), SequentialExecutor)
+    ex = make_executor(3)
+    try:
+        assert isinstance(ex, WorkStealingExecutor)
+        assert ex.num_workers == 3
+    finally:
+        ex.close()
+
+
+def test_executor_context_manager():
+    with make_executor(2) as ex:
+        assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# parallel_for and chunking
+# ---------------------------------------------------------------------------
+
+
+def test_chunk_indices_covers_range_exactly():
+    chunks = chunk_indices(10, 3)
+    assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+
+def test_chunk_indices_validation():
+    with pytest.raises(ValueError):
+        chunk_indices(-1, 3)
+    with pytest.raises(ValueError):
+        chunk_indices(10, 0)
+
+
+def test_chunk_indices_empty_total():
+    assert chunk_indices(0, 4) == []
+
+
+@pytest.mark.parametrize("workers", [None, 1, 3])
+def test_parallel_for_visits_every_index_once(workers):
+    hits = [0] * 100
+    lock = threading.Lock()
+
+    def body(start, stop):
+        with lock:
+            for i in range(start, stop):
+                hits[i] += 1
+
+    ex = None if workers is None else make_executor(workers)
+    try:
+        parallel_for(body, 100, 7, ex)
+    finally:
+        if ex:
+            ex.close()
+    assert hits == [1] * 100
+
+
+# ---------------------------------------------------------------------------
+# work-stealing deques
+# ---------------------------------------------------------------------------
+
+
+def test_work_deque_lifo_pop_fifo_steal():
+    d = WorkDeque()
+    for i in range(3):
+        d.push(i)
+    assert d.pop() == 2          # owner pops newest
+    assert d.steal() == 0        # thief steals oldest
+    assert len(d) == 1
+
+
+def test_work_deque_empty_returns_none():
+    d = WorkDeque()
+    assert d.pop() is None and d.steal() is None
+
+
+def test_steal_scheduler_takes_own_then_external_then_steals():
+    sched = StealScheduler(2)
+    sched.push("own", worker=0)
+    sched.push("external")          # no worker -> overflow queue
+    sched.push("victim", worker=1)
+    rng = [1]
+    assert sched.take(0, rng) == "own"
+    assert sched.take(0, rng) == "external"
+    assert sched.take(0, rng) == "victim"
+    assert sched.take(0, rng) is None
+    assert sched.outstanding() == 0

@@ -1,0 +1,121 @@
+"""Tests for the Taskflow-style task graph model."""
+
+import pytest
+
+from repro.core.exceptions import ExecutorError
+from repro.parallel import Task, TaskGraph
+
+
+def test_emplace_and_len():
+    g = TaskGraph("g")
+    a = g.emplace(lambda: None, "a")
+    b = g.emplace(lambda: None, "b")
+    assert len(g) == 2
+    assert {t.name for t in g.tasks} == {"a", "b"}
+
+
+def test_precede_and_succeed_build_edges():
+    g = TaskGraph()
+    a, b, c = (g.emplace(lambda: None, n) for n in "abc")
+    a.precede(b, c)
+    c.succeed(b)
+    assert set(a.successors) == {b, c}
+    assert b.successors == [c]
+    assert set(c.predecessors) == {a, b}
+    assert g.num_edges() == 3
+
+
+def test_precede_self_raises():
+    g = TaskGraph()
+    a = g.emplace(lambda: None)
+    with pytest.raises(ExecutorError):
+        a.precede(a)
+
+
+def test_duplicate_edges_ignored():
+    g = TaskGraph()
+    a, b = g.emplace(lambda: None), g.emplace(lambda: None)
+    a.precede(b)
+    a.precede(b)
+    assert g.num_edges() == 1
+
+
+def test_sources_and_sinks():
+    g = TaskGraph()
+    a, b, c = (g.emplace(lambda: None, n) for n in "abc")
+    a.precede(b)
+    b.precede(c)
+    assert g.sources() == [a]
+    assert g.sinks() == [c]
+
+
+def test_topological_order_respects_edges():
+    g = TaskGraph()
+    tasks = [g.emplace(lambda: None, str(i)) for i in range(6)]
+    tasks[0].precede(tasks[2])
+    tasks[1].precede(tasks[2])
+    tasks[2].precede(tasks[3], tasks[4])
+    tasks[4].precede(tasks[5])
+    order = {t.name: i for i, t in enumerate(g.topological_order())}
+    assert order["0"] < order["2"] < order["3"]
+    assert order["1"] < order["2"] < order["4"] < order["5"]
+
+
+def test_validate_detects_cycle():
+    g = TaskGraph()
+    a, b = g.emplace(lambda: None), g.emplace(lambda: None)
+    a.precede(b)
+    b.precede(a)
+    with pytest.raises(ExecutorError):
+        g.validate()
+
+
+def test_validate_passes_for_dag():
+    g = TaskGraph()
+    a, b = g.emplace(lambda: None), g.emplace(lambda: None)
+    a.precede(b)
+    g.validate()
+
+
+def test_placeholder_has_no_callable():
+    g = TaskGraph()
+    sync = g.placeholder("sync-1")
+    assert sync.fn is None
+    assert sync.run() is None
+
+
+def test_task_run_returns_subflow_list():
+    calls = []
+    t = Task(lambda: [lambda: calls.append(1), lambda: calls.append(2)])
+    sub = t.run()
+    assert len(sub) == 2
+    for fn in sub:
+        fn()
+    assert sorted(calls) == [1, 2]
+
+
+def test_task_run_single_callable_becomes_subflow():
+    t = Task(lambda: (lambda: 42))
+    sub = t.run()
+    assert len(sub) == 1 and callable(sub[0])
+
+
+def test_task_run_non_callable_return_ignored():
+    t = Task(lambda: "not a subflow")
+    assert t.run() is None
+
+
+def test_to_dot_contains_nodes_and_edges():
+    g = TaskGraph("demo")
+    a, b = g.emplace(lambda: None, "a"), g.emplace(lambda: None, "b")
+    a.precede(b)
+    dot = g.to_dot()
+    assert '"a" -> "b";' in dot
+    assert dot.startswith('digraph "demo"')
+
+
+def test_add_external_task():
+    g = TaskGraph()
+    t = Task(lambda: None, "ext")
+    g.add(t)
+    assert t in g.tasks and t.graph is g
