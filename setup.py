@@ -1,0 +1,7 @@
+"""Compatibility shim: enables legacy editable installs (``pip install -e .``)
+on environments whose setuptools/pip lack PEP 660 support (no ``wheel``
+package).  All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -26,7 +26,7 @@ from .gates import (
 from .graph import PartitionGraph, PartitionNode
 from .partition import PartitionSpec, derive_partitions, matvec_partitions
 from .simulator import QTaskSimulator, UpdateReport
-from .stage import MatVecStage, Stage, UnitaryStage
+from .stage import FusedUnitaryStage, MatVecStage, Stage, UnitaryStage
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -63,6 +63,7 @@ __all__ = [
     "matvec_partitions",
     "QTaskSimulator",
     "UpdateReport",
+    "FusedUnitaryStage",
     "MatVecStage",
     "Stage",
     "UnitaryStage",

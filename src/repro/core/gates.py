@@ -53,9 +53,42 @@ __all__ = [
     "is_superposition_gate",
     "controlled_matrix",
     "embed_gate_matrix",
+    "compose_actions",
+    "fuse_gate_actions",
+    "extract_local",
+    "replace_local",
 ]
 
 _ATOL = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Bit manipulation helpers (vectorised; shared with the kernels)
+# ---------------------------------------------------------------------------
+
+
+def extract_local(indices: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+    """Local gate index of each global index (``qubits[0]`` = local bit 0)."""
+    idx = np.asarray(indices, dtype=np.int64)
+    local = np.zeros_like(idx)
+    for j, q in enumerate(qubits):
+        local |= ((idx >> q) & 1) << j
+    return local
+
+
+def replace_local(
+    indices: np.ndarray, qubits: Sequence[int], local_values: np.ndarray
+) -> np.ndarray:
+    """Replace the gate-qubit bits of each global index with ``local_values``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    loc = np.asarray(local_values, dtype=np.int64)
+    clear_mask = 0
+    for q in qubits:
+        clear_mask |= 1 << q
+    out = idx & ~np.int64(clear_mask)
+    for j, q in enumerate(qubits):
+        out |= ((loc >> j) & 1) << q
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -484,6 +517,93 @@ class Gate:
 def classify_gate(gate: Gate) -> Action:
     """Classify a gate instance (see :func:`classify_matrix`)."""
     return gate.action()
+
+
+# ---------------------------------------------------------------------------
+# Action composition (stage fusion)
+# ---------------------------------------------------------------------------
+#
+# Non-superposition actions form a monoid under composition: a diagonal is a
+# monomial with the identity permutation, and composing two monomials yields
+# another monomial.  Fusing a run of consecutive diagonal/monomial gates into
+# one action over the union of their qubit supports lets the simulator run
+# one stage (one partition layout, one set of CoW block writes) instead of
+# one per gate.
+
+
+def _as_union_monomial(
+    action: Action, qubits: Sequence[int], union: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Express ``action`` as ``(perm, factors)`` over the ``union`` support.
+
+    ``union`` must contain every qubit of ``qubits``.  Diagonal actions map to
+    the identity permutation with their phases as factors; monomial actions
+    permute only the bits corresponding to ``qubits``.
+    """
+    dim = 1 << len(union)
+    pos = {q: j for j, q in enumerate(union)}
+    bits = [pos[q] for q in qubits]
+    base = np.arange(dim, dtype=np.int64)
+    local = extract_local(base, bits)
+    if isinstance(action, DiagonalAction):
+        phases = np.asarray(action.phases, dtype=complex)
+        return base.copy(), phases[local]
+    if isinstance(action, MonomialAction):
+        perm = np.asarray(action.perm, dtype=np.int64)
+        factors = np.asarray(action.factors, dtype=complex)
+        return replace_local(base, bits, perm[local]), factors[local]
+    raise TypeError(
+        f"only non-superposition actions compose, got {type(action).__name__}"
+    )
+
+
+def compose_actions(
+    first: Action,
+    first_qubits: Sequence[int],
+    second: Action,
+    second_qubits: Sequence[int],
+) -> Tuple[Action, Tuple[int, ...]]:
+    """Fuse two non-superposition actions into one over the union support.
+
+    Returns ``(action, union_qubits)`` such that applying ``action`` on
+    ``union_qubits`` equals applying ``first`` on ``first_qubits`` and *then*
+    ``second`` on ``second_qubits``.  diagonal∘diagonal multiplies phase
+    tables, monomial∘monomial composes permutations and factors, and a
+    diagonal absorbs into a monomial's factors; when the composed permutation
+    collapses to the identity the result is classified back to a
+    :class:`DiagonalAction`.
+    """
+    union = tuple(sorted(set(first_qubits) | set(second_qubits)))
+    perm_a, fact_a = _as_union_monomial(first, first_qubits, union)
+    perm_b, fact_b = _as_union_monomial(second, second_qubits, union)
+    # amplitude at l moves to perm_a[l] (picking up fact_a[l]) and then to
+    # perm_b[perm_a[l]] (picking up fact_b[perm_a[l]]).
+    perm = perm_b[perm_a]
+    factors = fact_a * fact_b[perm_a]
+    k = len(union)
+    if np.array_equal(perm, np.arange(1 << k, dtype=np.int64)):
+        return DiagonalAction(num_qubits=k, phases=tuple(factors)), union
+    return (
+        MonomialAction(num_qubits=k, perm=tuple(int(p) for p in perm),
+                       factors=tuple(factors)),
+        union,
+    )
+
+
+def fuse_gate_actions(gates: Sequence[Gate]) -> Tuple[Action, Tuple[int, ...]]:
+    """Fused action of a run of non-superposition gates, in application order."""
+    if not gates:
+        raise ValueError("cannot fuse an empty gate run")
+    action: Action = gates[0].action()
+    qubits: Tuple[int, ...] = gates[0].qubits
+    if action.creates_superposition:
+        raise ValueError(f"gate {gates[0]} creates superposition; cannot fuse")
+    for g in gates[1:]:
+        nxt = g.action()
+        if nxt.creates_superposition:
+            raise ValueError(f"gate {g} creates superposition; cannot fuse")
+        action, qubits = compose_actions(action, qubits, nxt, g.qubits)
+    return action, qubits
 
 
 def is_superposition_gate(gate: Gate) -> bool:

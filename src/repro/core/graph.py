@@ -123,6 +123,14 @@ class PartitionGraph:
     def stages(self) -> List[Stage]:
         return list(self._stages)
 
+    def stage_at(self, position: int) -> Stage:
+        """The stage at ``position`` in the global order (no list copy)."""
+        return self._stages[position]
+
+    def stages_after(self, position: int) -> List[Stage]:
+        """Stages at or after ``position`` (copies only the tail)."""
+        return self._stages[position:]
+
     def stage_nodes(self, stage: Stage) -> List[PartitionNode]:
         """Every node of a stage (sync node first when present)."""
         nodes = list(self._nodes_by_stage.get(stage.uid, []))

@@ -21,7 +21,13 @@ from typing import Protocol, Sequence, Tuple
 
 import numpy as np
 
-from .gates import DiagonalAction, MatVecAction, MonomialAction
+from .gates import (
+    DiagonalAction,
+    MatVecAction,
+    MonomialAction,
+    extract_local,
+    replace_local,
+)
 
 __all__ = [
     "StateReader",
@@ -61,37 +67,40 @@ class ArrayReader:
 
 
 # ---------------------------------------------------------------------------
-# Bit manipulation helpers (vectorised)
+# Range kernels (the bit helpers extract_local/replace_local live in .gates
+# and are re-exported here for backward compatibility)
 # ---------------------------------------------------------------------------
 
 
-def extract_local(indices: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
-    """Local gate index of each global index (``qubits[0]`` = local bit 0)."""
-    idx = np.asarray(indices, dtype=np.int64)
-    local = np.zeros_like(idx)
-    for j, q in enumerate(qubits):
-        local |= ((idx >> q) & 1) << j
-    return local
+def _range_alignment(lo: int, n: int) -> int:
+    """``log2(n)`` when ``[lo, lo+n)`` is an aligned power-of-two range, else -1.
+
+    Every in-tree call site applies kernels one data block at a time, so the
+    range is a whole (power-of-two, aligned) block: every state-index bit at
+    or above ``log2(n)`` is then *constant* across the range and the
+    per-amplitude local-index pattern repeats with the period set by the
+    highest gate qubit below ``log2(n)``.  The strided fast paths exploit
+    this to replace full-size ``arange``/``extract_local``/``replace_local``
+    index arithmetic with one small per-period table.
+    """
+    if n <= 0 or n & (n - 1) or lo % n:
+        return -1
+    return n.bit_length() - 1
 
 
-def replace_local(
-    indices: np.ndarray, qubits: Sequence[int], local_values: np.ndarray
-) -> np.ndarray:
-    """Replace the gate-qubit bits of each global index with ``local_values``."""
-    idx = np.asarray(indices, dtype=np.int64)
-    loc = np.asarray(local_values, dtype=np.int64)
-    clear_mask = 0
-    for q in qubits:
-        clear_mask |= 1 << q
-    out = idx & ~np.int64(clear_mask)
-    for j, q in enumerate(qubits):
-        out |= ((loc >> j) & 1) << q
-    return out
+def _local_pattern(
+    lo: int, nb: int, qubits: Sequence[int]
+) -> Tuple[int, np.ndarray]:
+    """Period and per-period local indices of ``qubits`` over an aligned range.
 
-
-# ---------------------------------------------------------------------------
-# Range kernels
-# ---------------------------------------------------------------------------
+    Bits of qubits at or above ``nb`` are constant (taken from ``lo``); the
+    remaining low qubits make the pattern repeat every ``2**(max_low+1)``
+    amplitudes.
+    """
+    low = [q for q in qubits if q < nb]
+    period = (1 << (max(low) + 1)) if low else 1
+    base = np.arange(lo, lo + period, dtype=np.int64)
+    return period, extract_local(base, qubits)
 
 
 def apply_diagonal_range(
@@ -103,10 +112,17 @@ def apply_diagonal_range(
 ) -> np.ndarray:
     """Output amplitudes of ``[lo, hi]`` for a diagonal gate."""
     src = np.asarray(reader.read_range(lo, hi), dtype=_DTYPE)
-    idx = np.arange(lo, hi + 1, dtype=np.int64)
-    local = extract_local(idx, qubits)
     phases = np.asarray(action.phases, dtype=_DTYPE)
-    return src * phases[local]
+    n = hi - lo + 1
+    nb = _range_alignment(lo, n)
+    if nb >= 0:
+        # Strided fast path: one small phase table broadcasts over the range.
+        period, local = _local_pattern(lo, nb, qubits)
+        if period == 1:
+            return src * phases[local[0]]
+        return (src.reshape(-1, period) * phases[local]).reshape(-1)
+    idx = np.arange(lo, hi + 1, dtype=np.int64)
+    return src * phases[extract_local(idx, qubits)]
 
 
 def apply_monomial_range(
@@ -121,13 +137,36 @@ def apply_monomial_range(
     The output amplitude at global index ``j`` with local index ``l`` is
     ``factors[perm^-1(l)] * input[replace(j, perm^-1(l))]``; the source index
     always lies inside the same gate orbit, which partitions are closed under,
-    so the gathered reads stay within the partition's index span.
+    so the reads stay within the partition's index span.
     """
     perm = np.asarray(action.perm, dtype=np.int64)
     factors = np.asarray(action.factors, dtype=_DTYPE)
     dim = perm.shape[0]
     inv = np.empty(dim, dtype=np.int64)
     inv[perm] = np.arange(dim, dtype=np.int64)
+
+    n = hi - lo + 1
+    nb = _range_alignment(lo, n)
+    if nb >= 0:
+        period, local_out = _local_pattern(lo, nb, qubits)
+        local_src = inv[local_out]
+        pattern = replace_local(
+            np.arange(lo, lo + period, dtype=np.int64), qubits, local_src
+        )
+        # The source bits above the period are constant whenever the
+        # permutation maps the constant high-qubit bits to a single value;
+        # the sources then tile the aligned mirror range [start, start+n)
+        # and one contiguous read plus a small in-row gather suffices.
+        start = int(pattern[0]) & ~(period - 1)
+        offsets = pattern - start
+        if np.all((offsets >= 0) & (offsets < period)):
+            row_factors = factors[local_src]
+            src = np.asarray(
+                reader.read_range(start, start + n - 1), dtype=_DTYPE
+            )
+            if period == 1:
+                return src * row_factors[0]
+            return (src.reshape(-1, period)[:, offsets] * row_factors).reshape(-1)
 
     idx = np.arange(lo, hi + 1, dtype=np.int64)
     local_out = extract_local(idx, qubits)

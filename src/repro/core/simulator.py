@@ -24,9 +24,9 @@ from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_s
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
 from .cow import InitialStateStore, MemoryReport, StoreChain
 from .exceptions import CircuitError
-from .gates import Gate, is_superposition_gate
+from .gates import Gate, compose_actions, is_superposition_gate
 from .graph import PartitionGraph, PartitionNode
-from .stage import MatVecStage, Stage, UnitaryStage
+from .stage import FusedUnitaryStage, MatVecStage, Stage, UnitaryStage
 
 __all__ = ["UpdateReport", "QTaskSimulator"]
 
@@ -59,10 +59,20 @@ class QTaskSimulator(CircuitObserver):
         executor: Optional[Executor] = None,
         num_workers: Optional[int] = None,
         copy_on_write: bool = True,
+        fusion: bool = False,
+        max_fused_qubits: int = 4,
     ) -> None:
         self.circuit = circuit
         self.block_size = validate_block_size(block_size)
         self.copy_on_write = bool(copy_on_write)
+        #: Fuse runs of consecutive non-superposition stages into single
+        #: diagonal/monomial stages over the union qubit support.  Fusion
+        #: relies on the net invariant (gates in one net are qubit-disjoint),
+        #: so it is disabled for circuits built with
+        #: ``allow_net_dependencies=True``, where within-net order is
+        #: heuristic and fusing could reorder dependent gates.
+        self.fusion = bool(fusion) and not circuit.allow_net_dependencies
+        self.max_fused_qubits = int(max_fused_qubits)
         self.dim = 1 << circuit.num_qubits
         self.n_blocks = num_blocks(self.dim, self.block_size)
         if executor is not None and num_workers is not None:
@@ -79,6 +89,14 @@ class QTaskSimulator(CircuitObserver):
         self._matvec: Dict[int, MatVecStage] = {}
         #: stage owning each gate handle
         self._gate_stage: Dict[int, Stage] = {}
+        #: gate handles whose gates each stage applies (member list for fused
+        #: stages; single-element for unitary stages)
+        self._stage_handles: Dict[int, List[GateHandle]] = {}
+        #: uid of the net each stage is filed under (a fused stage is filed
+        #: under the net of its most recently fused member)
+        self._stage_net: Dict[int, int] = {}
+        #: number of live fused stages (lets insertions skip conflict scans)
+        self._num_fused = 0
 
         self.last_update: UpdateReport = UpdateReport()
         self._num_updates = 0
@@ -124,27 +142,31 @@ class QTaskSimulator(CircuitObserver):
 
     def on_gate_inserted(self, circuit: Circuit, handle: GateHandle) -> None:
         net = handle.net
-        stages = self._net_stages.setdefault(net.uid, [])
+        self._net_stages.setdefault(net.uid, [])
         gate = handle.gate
         if is_superposition_gate(gate):
             stage = self._matvec.get(net.uid)
             if stage is not None:
                 stage.add_gate(gate)
                 self._gate_stage[handle.uid] = stage
+                self._stage_handles[stage.uid].append(handle)
+                if self.fusion:
+                    # The gate joins a stage that executes earlier than its
+                    # insertion time would suggest; fused runs downstream that
+                    # pulled an earlier-net gate past this point must split.
+                    self._dissolve_conflicting(stage.seq + 1, net, gate)
                 self.graph.touch_stage(stage)
                 return
             stage = MatVecStage(
                 [gate], circuit.num_qubits, self.block_size, self.copy_on_write
             )
             self._matvec[net.uid] = stage
-            within = 0  # the matvec stage always leads its net
-            self._insert_stage(handle, net, stage, stages, within)
+            self._insert_stage(handle, net, stage)
             return
         stage = UnitaryStage(
             gate, circuit.num_qubits, self.block_size, self.copy_on_write
         )
-        within = self._heuristic_position(stages, stage)
-        self._insert_stage(handle, net, stage, stages, within)
+        self._insert_stage(handle, net, stage, try_fusion=self.fusion)
 
     def _heuristic_position(self, stages: List[Stage], new_stage: UnitaryStage) -> int:
         """Within-net position: matvec first, then ascending block count.
@@ -169,13 +191,147 @@ class QTaskSimulator(CircuitObserver):
         handle: GateHandle,
         net: NetHandle,
         stage: Stage,
-        stages: List[Stage],
-        within: int,
+        *,
+        try_fusion: bool = False,
     ) -> None:
-        stages.insert(within, stage)
-        position = self._global_position(net, within)
+        within, position = self._place(net, stage, handle.gate)
+        if try_fusion and position > 0:
+            candidate = self.graph.stage_at(position - 1)
+            if self._fuse_into(candidate, handle, net, position):
+                return
+        self._net_stages[net.uid].insert(within, stage)
         self.graph.insert_stage(stage, position)
         self._gate_stage[handle.uid] = stage
+        self._stage_handles[stage.uid] = [handle]
+        self._stage_net[stage.uid] = net.uid
+
+    def _place(self, net: NetHandle, stage: Stage, gate: Gate) -> Tuple[int, int]:
+        """Within-net and global insertion slots for ``stage``.
+
+        With fusion enabled, any fused stage at or after the chosen slot that
+        holds a member from an earlier net overlapping ``gate``'s qubits is
+        dissolved first (the member must execute before ``gate`` but no longer
+        would), and the slot is recomputed against the new layout.
+        """
+        while True:
+            stages = self._net_stages.setdefault(net.uid, [])
+            if isinstance(stage, MatVecStage):
+                within = 0  # the matvec stage always leads its net
+            else:
+                within = self._heuristic_position(stages, stage)
+            position = self._global_position(net, within)
+            if not self.fusion or not self._dissolve_conflicting(position, net, gate):
+                return within, position
+
+    # ------------------------------------------------------------------
+    # stage fusion (runs of consecutive non-superposition gates)
+    # ------------------------------------------------------------------
+
+    def _fuse_into(
+        self,
+        candidate: Stage,
+        handle: GateHandle,
+        net: NetHandle,
+        position: int,
+    ) -> bool:
+        """Fuse ``handle``'s gate into the immediately preceding stage.
+
+        The fused stage takes the candidate's slot in the global order (the
+        two are adjacent, so composing their actions preserves the execution
+        order) and is filed under the new gate's net, which keeps every
+        earlier-net member ahead of all later insertion points.
+        """
+        if not isinstance(candidate, UnitaryStage):
+            return False
+        gate = handle.gate
+        if len(set(candidate.qubits) | set(gate.qubits)) > self.max_fused_qubits:
+            return False
+        action, union_qubits = compose_actions(
+            candidate.action, candidate.qubits, gate.action(), gate.qubits
+        )
+        members = list(self._stage_handles[candidate.uid]) + [handle]
+        fused = FusedUnitaryStage(
+            [h.gate for h in members],
+            self.circuit.num_qubits,
+            self.block_size,
+            self.copy_on_write,
+            action=action,
+            qubits=union_qubits,
+        )
+        cand_net_uid = self._stage_net.pop(candidate.uid)
+        cand_list = self._net_stages[cand_net_uid]
+        # A candidate from another net can only precede slot `position` when
+        # this net contributes nothing before it, so the fused stage leads
+        # this net's list; otherwise it takes the candidate's own index.
+        index = cand_list.index(candidate) if cand_net_uid == net.uid else 0
+        cand_list.remove(candidate)
+        self._stage_handles.pop(candidate.uid)
+        self.graph.remove_stage(candidate)
+        self._net_stages[net.uid].insert(index, fused)
+        self.graph.insert_stage(fused, position - 1)
+        for h in members:
+            self._gate_stage[h.uid] = fused
+        self._stage_handles[fused.uid] = members
+        self._stage_net[fused.uid] = net.uid
+        if not isinstance(candidate, FusedUnitaryStage):
+            self._num_fused += 1
+        return True
+
+    def _dissolve_conflicting(self, position: int, net: NetHandle, gate: Gate) -> bool:
+        """Dissolve fused stages at/after ``position`` that ``gate`` invalidates.
+
+        A fused stage downstream of the insertion slot may hold a member from
+        a net *earlier* than ``net``; if that member shares qubits with
+        ``gate`` it must execute before it, which the fused placement no
+        longer guarantees.  Returns True when anything was dissolved.
+        """
+        if not self._num_fused:
+            return False
+        candidates = [
+            s
+            for s in self.graph.stages_after(position)
+            if isinstance(s, FusedUnitaryStage)
+        ]
+        if not candidates:
+            return False
+        qubits = set(gate.qubits)
+        net_positions = {n.uid: i for i, n in enumerate(self.circuit.nets())}
+        net_pos = net_positions[net.uid]
+        conflicting: List[FusedUnitaryStage] = []
+        for stage in candidates:
+            for h in self._stage_handles[stage.uid]:
+                if qubits.intersection(h.gate.qubits) and (
+                    net_positions[h.net.uid] < net_pos
+                ):
+                    conflicting.append(stage)
+                    break
+        for stage in conflicting:
+            if stage.uid in self._stage_handles:  # not already dissolved
+                self._dissolve(stage)
+        return bool(conflicting)
+
+    def _dissolve(
+        self, stage: FusedUnitaryStage, skip: Optional[GateHandle] = None
+    ) -> None:
+        """Replace a fused stage with individual stages for its members.
+
+        Each member is re-inserted through the normal placement path of its
+        own net (no re-fusion), so net-order semantics are restored exactly.
+        """
+        handles = self._stage_handles.pop(stage.uid)
+        net_uid = self._stage_net.pop(stage.uid)
+        self._net_stages[net_uid].remove(stage)
+        self._num_fused -= 1
+        self.graph.remove_stage(stage)
+        for h in handles:
+            self._gate_stage.pop(h.uid, None)
+        for h in handles:
+            if h is skip:
+                continue
+            single = UnitaryStage(
+                h.gate, self.circuit.num_qubits, self.block_size, self.copy_on_write
+            )
+            self._insert_stage(h, h.net, single)
 
     def _global_position(self, net: NetHandle, within: int) -> int:
         pos = 0
@@ -191,8 +347,15 @@ class QTaskSimulator(CircuitObserver):
         if stage is None:
             return
         net = handle.net
+        if isinstance(stage, FusedUnitaryStage):
+            # Removing one member splits the run back into single-gate stages.
+            self._dissolve(stage, skip=handle)
+            return
         if isinstance(stage, MatVecStage):
             stage.remove_gate(handle.gate)
+            members = self._stage_handles.get(stage.uid)
+            if members is not None and handle in members:
+                members.remove(handle)
             if not stage.is_empty:
                 self.graph.touch_stage(stage)
                 return
@@ -200,6 +363,8 @@ class QTaskSimulator(CircuitObserver):
         stages = self._net_stages.get(net.uid, [])
         if stage in stages:
             stages.remove(stage)
+        self._stage_handles.pop(stage.uid, None)
+        self._stage_net.pop(stage.uid, None)
         self.graph.remove_stage(stage)
 
     # ------------------------------------------------------------------
@@ -370,6 +535,8 @@ class QTaskSimulator(CircuitObserver):
                 "num_updates": self._num_updates,
                 "num_workers": self.executor.num_workers,
                 "copy_on_write": self.copy_on_write,
+                "fusion": self.fusion,
+                "num_fused_stages": self._num_fused,
                 "last_affected_partitions": self.last_update.affected_partitions,
                 "last_elapsed_seconds": self.last_update.elapsed_seconds,
             }

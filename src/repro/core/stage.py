@@ -23,11 +23,17 @@ import numpy as np
 
 from .blocks import BlockRange, block_bounds, num_blocks
 from .cow import BlockStore, StoreChain
-from .gates import Action, Gate, MatVecAction, classify_matrix
+from .gates import Action, Gate, MatVecAction, classify_matrix, fuse_gate_actions
 from .kernels import apply_action_range, apply_gate_dense, apply_matrix_dense
 from .partition import PartitionSpec, derive_partitions, matvec_partitions
 
-__all__ = ["Stage", "UnitaryStage", "MatVecStage", "MATVEC_COMBINE_LIMIT"]
+__all__ = [
+    "Stage",
+    "UnitaryStage",
+    "FusedUnitaryStage",
+    "MatVecStage",
+    "MATVEC_COMBINE_LIMIT",
+]
 
 #: Compute MxV partitions directly from the combined operator's matrix rows
 #: (the paper's "derive its subset of matrix rows on the fly") only when the
@@ -117,8 +123,14 @@ class UnitaryStage(Stage):
             raise ValueError(
                 f"gate {gate} creates superposition; it belongs in a MatVecStage"
             )
+        self._finalize_action(self.action, gate.qubits)
+
+    def _finalize_action(self, action: Action, qubits: Sequence[int]) -> None:
+        """Shared constructor tail: bind the action and derive partitions."""
+        self.action = action
+        self.qubits: Tuple[int, ...] = tuple(qubits)
         self._specs = derive_partitions(
-            self.action, gate.qubits, qubit_count, block_size
+            action, self.qubits, self.qubit_count, self.block_size
         )
 
     def partition_specs(self) -> List[PartitionSpec]:
@@ -135,7 +147,7 @@ class UnitaryStage(Stage):
         return sum(len(s.block_range) for s in self._specs)
 
     def block_tasks(self, reader: StoreChain, block_range: BlockRange):
-        gate = self.gate
+        qubits = self.qubits
         action = self.action
         store = self.store
         block_size = self.block_size
@@ -144,12 +156,54 @@ class UnitaryStage(Stage):
         def make(b: int):
             def body() -> None:
                 lo, hi = block_bounds(b, block_size, dim)
-                out = apply_action_range(reader, lo, hi, gate.qubits, action)
+                out = apply_action_range(reader, lo, hi, qubits, action)
                 store.write_block(b, out)
 
             return body
 
         return [make(b) for b in block_range.blocks()]
+
+
+class FusedUnitaryStage(UnitaryStage):
+    """A run of consecutive non-superposition gates fused into one action.
+
+    The member gates' classified actions are composed (in application order)
+    into a single :class:`~repro.core.gates.DiagonalAction` or
+    :class:`~repro.core.gates.MonomialAction` over the union of their qubit
+    supports, so the whole run costs one stage -- one partition layout, one
+    state vector, one set of CoW block writes -- instead of one per gate.
+    """
+
+    kind = "fused"
+
+    def __init__(
+        self,
+        gates: Sequence[Gate],
+        qubit_count: int,
+        block_size: int,
+        copy_on_write: bool = True,
+        *,
+        action: Optional[Action] = None,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> None:
+        Stage.__init__(self, qubit_count, block_size, copy_on_write)
+        if not gates:
+            raise ValueError("a fused stage needs at least one gate")
+        if (action is None) != (qubits is None):
+            raise ValueError("pass action and qubits together, or neither")
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.gate = self.gates[0]
+        if action is None:
+            # caller may instead compose incrementally (one compose per
+            # insert instead of re-fusing the whole run) and pass the result
+            action, qubits = fuse_gate_actions(self.gates)
+        self._finalize_action(action, qubits)
+
+    def label(self) -> str:
+        return "fused{" + ";".join(str(g) for g in self.gates) + "}"
+
+    def gate_list(self) -> Tuple[Gate, ...]:
+        return self.gates
 
 
 class MatVecStage(Stage):

@@ -46,6 +46,8 @@ class QTask:
         num_workers: Optional[int] = None,
         executor: Optional[Executor] = None,
         copy_on_write: bool = True,
+        fusion: bool = False,
+        max_fused_qubits: int = 4,
     ) -> None:
         self.circuit = Circuit(num_qubits)
         self.simulator = QTaskSimulator(
@@ -54,6 +56,8 @@ class QTask:
             num_workers=num_workers,
             executor=executor,
             copy_on_write=copy_on_write,
+            fusion=fusion,
+            max_fused_qubits=max_fused_qubits,
         )
 
     # -- lifecycle ----------------------------------------------------------

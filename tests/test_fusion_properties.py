@@ -1,0 +1,146 @@
+"""Property tests: fused and unfused simulation are indistinguishable.
+
+The stage-fusion engine must be a pure optimisation: for any circuit, any
+block size and any executor, enabling ``fusion`` may change how many stages
+exist but never the simulated state.  These tests drive both simulators with
+the same random circuits (mixing diagonal, monomial and superposition gates)
+and compare final states, including across incremental modifier sequences.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.simulator import QTaskSimulator
+from repro.parallel import SequentialExecutor, WorkStealingExecutor
+
+from .conftest import (
+    assert_states_close,
+    circuit_levels,
+    random_gate,
+    random_level,
+    random_levels,
+    reference_state,
+)
+
+EXECUTORS = {
+    "sequential": lambda: SequentialExecutor(),
+    "workstealing": lambda: WorkStealingExecutor(2),
+}
+
+
+def simulate(n, levels, *, fusion, block_size, executor=None, max_fused_qubits=4):
+    ckt = Circuit(n)
+    sim = QTaskSimulator(
+        ckt,
+        block_size=block_size,
+        executor=executor,
+        fusion=fusion,
+        max_fused_qubits=max_fused_qubits,
+    )
+    try:
+        ckt.from_levels(levels)
+        sim.update_state()
+        return sim.state()
+    finally:
+        sim.close()
+
+
+@pytest.mark.parametrize("executor_kind", sorted(EXECUTORS))
+def test_fused_equals_unfused_on_random_circuits(executor_kind):
+    """~50 random circuits per executor: identical final states (atol 1e-10)."""
+    rng = random.Random(20230419 + sorted(EXECUTORS).index(executor_kind))
+    for trial in range(50):
+        n = rng.randint(2, 7)
+        levels = random_levels(rng, n, rng.randint(1, 8))
+        block_size = rng.choice([2, 4, 16, 64, 256])
+        max_fused = rng.randint(2, 8)
+        with EXECUTORS[executor_kind]() as ex:
+            unfused = simulate(
+                n, levels, fusion=False, block_size=block_size, executor=ex
+            )
+            fused = simulate(
+                n,
+                levels,
+                fusion=True,
+                block_size=block_size,
+                executor=ex,
+                max_fused_qubits=max_fused,
+            )
+        np.testing.assert_allclose(
+            fused,
+            unfused,
+            atol=1e-10,
+            rtol=0.0,
+            err_msg=f"trial {trial}: n={n} B={block_size} cap={max_fused}",
+        )
+
+
+def test_fused_matches_dense_reference_on_random_circuits(rng):
+    """Fused simulation also agrees with the independent dense ground truth."""
+    for _ in range(15):
+        n = rng.randint(2, 6)
+        levels = random_levels(rng, n, rng.randint(1, 6))
+        block_size = rng.choice([4, 16, 64])
+        fused = simulate(n, levels, fusion=True, block_size=block_size)
+        assert_states_close(fused, reference_state(n, levels), atol=1e-9)
+
+
+def test_fused_equals_unfused_across_incremental_modifiers():
+    """Random insert/remove sequences keep fused == unfused after each update."""
+    rng = random.Random(777)
+    for trial in range(12):
+        n = rng.randint(3, 6)
+        levels = random_levels(rng, n, rng.randint(2, 5))
+        block_size = rng.choice([4, 16, 64])
+        sims = []
+        for fusion in (False, True):
+            ckt = Circuit(n)
+            sim = QTaskSimulator(ckt, block_size=block_size, fusion=fusion)
+            ckt.from_levels(levels)
+            sim.update_state()
+            sims.append((ckt, sim))
+        try:
+            for step in range(rng.randint(2, 5)):
+                op = rng.random()
+                plan = None
+                nets0 = sims[0][0].nets()
+                if op < 0.4 and nets0:
+                    pos = rng.randrange(len(nets0) + 1)
+                    level = random_level(rng, n) or [random_gate(rng, range(n))]
+                    plan = ("insert_net", pos, level)
+                elif op < 0.7 and sims[0][0].gates():
+                    plan = ("remove_gate", rng.randrange(len(sims[0][0].gates())))
+                elif nets0:
+                    plan = ("remove_net", rng.randrange(len(nets0)))
+                if plan is None:
+                    continue
+                for ckt, sim in sims:
+                    if plan[0] == "insert_net":
+                        _, pos, level = plan
+                        nets = ckt.nets()
+                        after = nets[pos - 1] if pos > 0 else None
+                        net = (
+                            ckt.insert_net(after)
+                            if after is not None
+                            else ckt.prepend_net()
+                        )
+                        for g in level:
+                            ckt.insert_gate(g, net)
+                    elif plan[0] == "remove_gate":
+                        ckt.remove_gate(ckt.gates()[plan[1]])
+                    else:
+                        ckt.remove_net(ckt.nets()[plan[1]])
+                    sim.update_state()
+                states = [sim.state() for _, sim in sims]
+                np.testing.assert_allclose(
+                    states[1], states[0], atol=1e-10, rtol=0.0,
+                    err_msg=f"trial {trial} step {step} plan {plan[0]}",
+                )
+                ref = reference_state(n, circuit_levels(sims[0][0]))
+                assert_states_close(states[1], ref, atol=1e-9)
+        finally:
+            for _, sim in sims:
+                sim.close()
