@@ -67,6 +67,7 @@ def qtask_factory(
     copy_on_write: bool = True,
     fusion: bool = False,
     max_fused_qubits: int = 4,
+    block_directory: bool = True,
     name: str = "qTask",
 ) -> SimulatorFactory:
     def build(circuit: Circuit) -> SimulatorAdapter:
@@ -77,6 +78,7 @@ def qtask_factory(
             copy_on_write=copy_on_write,
             fusion=fusion,
             max_fused_qubits=max_fused_qubits,
+            block_directory=block_directory,
         )
         return SimulatorAdapter(name, sim, incremental=True)
 

@@ -2,7 +2,14 @@
 
 from .blocks import DEFAULT_BLOCK_SIZE, BlockRange, IntervalSet
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
-from .cow import BlockStore, InitialStateStore, MemoryReport, StoreChain
+from .cow import (
+    BlockDirectory,
+    BlockStore,
+    DirectoryReader,
+    InitialStateStore,
+    MemoryReport,
+    StoreChain,
+)
 from .exceptions import (
     CircuitError,
     ExecutorError,
@@ -36,7 +43,9 @@ __all__ = [
     "CircuitObserver",
     "GateHandle",
     "NetHandle",
+    "BlockDirectory",
     "BlockStore",
+    "DirectoryReader",
     "InitialStateStore",
     "MemoryReport",
     "StoreChain",

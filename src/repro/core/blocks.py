@@ -19,6 +19,7 @@ __all__ = [
     "num_blocks",
     "block_of",
     "block_bounds",
+    "aligned_block_runs",
     "BlockRange",
     "IntervalSet",
     "ranges_intersect",
@@ -59,6 +60,32 @@ def block_bounds(block: int, block_size: int, dim: int) -> Tuple[int, int]:
     lo = block * block_size
     hi = min(dim, lo + block_size) - 1
     return lo, hi
+
+
+def aligned_block_runs(first: int, last: int, max_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``[first, last]`` into maximal aligned power-of-two runs.
+
+    Each returned inclusive run ``(lo, hi)`` has a power-of-two length no
+    larger than ``max_blocks`` (itself a power of two) and starts at a
+    multiple of its length -- the buddy decomposition.  Blocks are a power of
+    two amplitudes, so an aligned run of blocks is an aligned power-of-two
+    amplitude range, which is exactly what the strided kernel fast paths in
+    :mod:`repro.core.kernels` require.  A run of ``n`` blocks yields at most
+    ``2*log2(n)`` chunks, so batched execution stays run-granular instead of
+    block-granular.
+    """
+    if max_blocks <= 0 or max_blocks & (max_blocks - 1):
+        raise ValueError(f"max_blocks must be a positive power of two, got {max_blocks}")
+    runs: List[Tuple[int, int]] = []
+    b = first
+    remaining = last - first + 1
+    while remaining > 0:
+        align = (b & -b) if b else max_blocks
+        size = min(align, 1 << (remaining.bit_length() - 1), max_blocks)
+        runs.append((b, b + size - 1))
+        b += size
+        remaining -= size
+    return runs
 
 
 @dataclass(frozen=True, order=True)

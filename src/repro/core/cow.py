@@ -8,16 +8,40 @@ write; every other block is implicitly inherited from the closest preceding
 stage that wrote it (ultimately the |0...0> initial state).  This is the
 *copy-on-write data optimization* of §III.F.3.
 
-The stores themselves do not know about stages -- resolution across stages is
-performed by :class:`StoreChain`, which walks an ordered sequence of stores so
-that removing a stage simply removes its store from the sequence (no dangling
-parent pointers).
+Two resolution strategies are provided:
+
+* :class:`StoreChain` -- the naive reference: walk an ordered sequence of
+  stores backwards until one holds the block.  O(S) per read for S stages,
+  used by tests/benchmarks as the ground truth and by the simulator's legacy
+  ``block_directory=False`` mode.
+* :class:`BlockDirectory` + :class:`DirectoryReader` -- a simulator-owned
+  index mapping each block id to the ordered list of stage *owners* that have
+  materialised it.  "Which store owns block b as of stage k?" becomes a
+  binary search over b's writers (O(log W), W = writers of b) instead of an
+  O(S) chain walk, and building a per-stage reader is O(1) instead of an
+  O(S) store-list copy.  The directory is maintained incrementally by the
+  stores themselves on every ``write_block``/``drop_block``/``clear`` (stores
+  carry an optional back-reference installed by
+  :meth:`BlockDirectory.attach`).
+
+Directory entries are kept sorted by the owner's ``seq`` (its position in the
+global stage order).  Stage insertion/removal renumbers seqs, but never
+changes the *relative* order of surviving stages, so the per-block sorted
+lists stay sorted without any fix-up; removal purges the departing owner's
+entries via :meth:`BlockDirectory.detach`.
+
+Writes are single-copy: ``write_block`` copies at most once (``np.asarray``'s
+dtype conversion already produces owned memory), and both ``write_block`` and
+``write_range`` accept ``copy=False`` for freshly allocated kernel outputs so
+publishing a computed run into the store is zero-copy (the store keeps views
+of the kernel's output array).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +51,8 @@ __all__ = [
     "BlockStore",
     "InitialStateStore",
     "StoreChain",
+    "BlockDirectory",
+    "DirectoryReader",
     "MemoryReport",
 ]
 
@@ -45,38 +71,89 @@ class BlockStore:
         self.block_size = validate_block_size(block_size)
         self.n_blocks = num_blocks(self.dim, self.block_size)
         self._blocks: Dict[int, np.ndarray] = {}
+        # Every block has the same length: dim is a power of two, so it is
+        # either a multiple of the block size or smaller than one block.
+        # Precomputing it keeps the hot write path free of per-call
+        # block_bounds arithmetic.
+        self._block_len = min(self.dim, self.block_size)
+        #: optional :class:`BlockDirectory` back-reference (see attach())
+        self._directory: Optional["BlockDirectory"] = None
+        self._dir_owner: Optional[object] = None
 
     # -- write side -------------------------------------------------------
 
-    def write_block(self, block: int, values: np.ndarray) -> None:
-        """Store the full contents of ``block`` (copying into owned memory)."""
-        lo, hi = block_bounds(block, self.block_size, self.dim)
-        expected = hi - lo + 1
-        arr = np.asarray(values, dtype=_DTYPE)
-        if arr.shape != (expected,):
-            raise ValueError(
-                f"block {block} expects {expected} amplitudes, got shape {arr.shape}"
-            )
-        self._blocks[block] = np.array(arr, dtype=_DTYPE, copy=True)
+    def write_block(self, block: int, values: np.ndarray, *, copy: bool = True) -> None:
+        """Store the full contents of ``block``.
 
-    def write_range(self, lo: int, values: np.ndarray) -> None:
-        """Write a block-aligned contiguous range starting at index ``lo``."""
+        By default the values are copied into store-owned memory (at most one
+        copy: a dtype conversion already yields a fresh array).  Pass
+        ``copy=False`` only for freshly allocated arrays the caller will never
+        touch again -- the store then adopts ``values`` (or a view of it)
+        without copying.
+        """
+        arr = np.asarray(values, dtype=_DTYPE)
+        if arr.shape != (self._block_len,):
+            raise ValueError(
+                f"block {block} expects {self._block_len} amplitudes, "
+                f"got shape {arr.shape}"
+            )
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(f"block {block} out of range [0, {self.n_blocks})")
+        if copy and np.may_share_memory(arr, values):
+            arr = arr.copy()
+        blocks = self._blocks
+        is_new = block not in blocks
+        blocks[block] = arr
+        if is_new and self._directory is not None:
+            self._directory._on_write(self._dir_owner, block)
+
+    def write_range(self, lo: int, values: np.ndarray, *, copy: bool = True) -> None:
+        """Write a block-aligned contiguous range starting at index ``lo``.
+
+        With ``copy=False`` the per-block entries are *views* of ``values``
+        (the zero-copy publish path for kernel outputs); the caller must not
+        mutate ``values`` afterwards.  With ``copy=True`` the range is copied
+        once as a whole, never block by block.  Directory notification is
+        batched: one update covers every newly owned block of the range.
+        """
         if lo % self.block_size != 0:
             raise ValueError(f"range start {lo} is not block aligned")
         arr = np.asarray(values, dtype=_DTYPE)
-        offset = 0
-        block = lo // self.block_size
-        while offset < arr.shape[0]:
-            blo, bhi = block_bounds(block, self.block_size, self.dim)
-            size = bhi - blo + 1
-            self.write_block(block, arr[offset : offset + size])
-            offset += size
+        if arr.ndim != 1:
+            raise ValueError(f"expected a 1-D amplitude range, got shape {arr.shape}")
+        if copy and np.may_share_memory(arr, values):
+            arr = arr.copy()
+        size = self._block_len
+        n = arr.shape[0]
+        if n % size != 0:
+            raise ValueError(
+                f"range of {n} amplitudes is not a whole number of "
+                f"{size}-amplitude blocks"
+            )
+        first = lo // self.block_size
+        last = first + n // size - 1
+        if not (0 <= first and last < self.n_blocks):
+            raise ValueError(
+                f"blocks [{first}, {last}] out of range [0, {self.n_blocks})"
+            )
+        blocks = self._blocks
+        new_blocks: List[int] = []
+        block = first
+        for offset in range(0, n, size):
+            if block not in blocks:
+                new_blocks.append(block)
+            blocks[block] = arr[offset : offset + size]
             block += 1
+        if new_blocks and self._directory is not None:
+            self._directory._on_write_many(self._dir_owner, new_blocks)
 
     def drop_block(self, block: int) -> None:
-        self._blocks.pop(block, None)
+        if self._blocks.pop(block, None) is not None and self._directory is not None:
+            self._directory._on_drop(self._dir_owner, block)
 
     def clear(self) -> None:
+        if self._directory is not None and self._blocks:
+            self._directory._on_clear(self._dir_owner, tuple(self._blocks))
         self._blocks.clear()
 
     # -- read side --------------------------------------------------------
@@ -133,44 +210,44 @@ class InitialStateStore(BlockStore):
         self._blocks[block] = arr
         return arr
 
+    def read_dense(self, lo: int, hi: int) -> np.ndarray:
+        """Amplitudes of ``[lo, hi]`` in one allocation, without caching blocks.
+
+        Readers that resolve a long run of never-written blocks to the
+        initial state use this instead of per-block :meth:`get_block` calls,
+        which would materialise (and cache) one zero array per block.
+        """
+        out = np.zeros(hi - lo + 1, dtype=_DTYPE)
+        if lo == 0:
+            out[0] = 1.0
+        return out
+
     def allocated_bytes(self) -> int:
         # The initial state is conceptually free; cached zero blocks are an
         # implementation detail and excluded from the accounting.
         return 0
 
 
-class StoreChain:
-    """Resolve blocks across an ordered sequence of stores.
+class _ResolvingReader:
+    """Shared read side of anything that can resolve single blocks.
 
-    ``stores[0]`` is the oldest (usually an :class:`InitialStateStore`) and
-    ``stores[-1]`` the most recent stage.  Reading block ``b`` walks the chain
-    backwards until a store holds ``b``.
+    Subclasses provide ``dim``/``block_size``/``n_blocks`` attributes and a
+    ``resolve_block`` method; this mixin derives the range, gather and
+    full-vector reads from it.
     """
 
-    def __init__(self, stores: Sequence[BlockStore]) -> None:
-        if not stores:
-            raise ValueError("StoreChain needs at least one store")
-        dims = {s.dim for s in stores}
-        sizes = {s.block_size for s in stores}
-        if len(dims) != 1 or len(sizes) != 1:
-            raise ValueError("all stores in a chain must share dim and block size")
-        self._stores: List[BlockStore] = list(stores)
-        self.dim = stores[0].dim
-        self.block_size = stores[0].block_size
-        self.n_blocks = stores[0].n_blocks
+    __slots__ = ()
 
     def resolve_block(self, block: int) -> np.ndarray:
-        for store in reversed(self._stores):
-            if store.has_block(block):
-                got = store.get_block(block)
-                assert got is not None
-                return got
-        raise LookupError(f"block {block} resolved by no store in the chain")
+        raise NotImplementedError
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if lo < 0 or hi >= self.dim or lo > hi:
+            raise ValueError(f"invalid index range [{lo}, {hi}] for dim {self.dim}")
 
     def read_range(self, lo: int, hi: int) -> np.ndarray:
         """Return amplitudes for the inclusive index range ``[lo, hi]``."""
-        if lo < 0 or hi >= self.dim or lo > hi:
-            raise ValueError(f"invalid index range [{lo}, {hi}] for dim {self.dim}")
+        self._check_range(lo, hi)
         first = lo // self.block_size
         last = hi // self.block_size
         parts = []
@@ -207,6 +284,232 @@ class StoreChain:
     def full_vector(self) -> np.ndarray:
         """Materialise the whole state vector (mostly for queries/tests)."""
         return self.read_range(0, self.dim - 1)
+
+
+class StoreChain(_ResolvingReader):
+    """Resolve blocks across an ordered sequence of stores.
+
+    ``stores[0]`` is the oldest (usually an :class:`InitialStateStore`) and
+    ``stores[-1]`` the most recent stage.  Reading block ``b`` walks the chain
+    backwards until a store holds ``b``.
+    """
+
+    def __init__(self, stores: Sequence[BlockStore]) -> None:
+        if not stores:
+            raise ValueError("StoreChain needs at least one store")
+        dims = {s.dim for s in stores}
+        sizes = {s.block_size for s in stores}
+        if len(dims) != 1 or len(sizes) != 1:
+            raise ValueError("all stores in a chain must share dim and block size")
+        self._stores: List[BlockStore] = list(stores)
+        self.dim = stores[0].dim
+        self.block_size = stores[0].block_size
+        self.n_blocks = stores[0].n_blocks
+
+    def resolve_block(self, block: int) -> np.ndarray:
+        for store in reversed(self._stores):
+            if store.has_block(block):
+                got = store.get_block(block)
+                assert got is not None
+                return got
+        raise LookupError(f"block {block} resolved by no store in the chain")
+
+
+class BlockDirectory:
+    """Index of block ownership across all stages of one simulator.
+
+    For every block id the directory keeps the list of *owners* (objects
+    exposing ``.seq`` and ``.store``, in practice stages) whose store
+    currently holds that block, sorted by ``seq``.  Resolution "as of"
+    sequence ``k`` is a binary search for the rightmost owner with
+    ``seq < k``; blocks nobody wrote fall back to the initial state.
+
+    Maintenance is push-based: :meth:`attach` installs a back-reference on
+    the owner's store, whose ``write_block``/``drop_block``/``clear`` then
+    report ownership changes.  Entries survive stage re-sequencing because
+    insertion/removal never reorders surviving stages relative to each
+    other, so seq-sorted lists stay sorted under renumbering.
+
+    Mutations take a lock (they happen on worker threads during execution);
+    lookups are lock-free, which is safe because the partition task graph
+    already orders every write of a block before any read that must see it.
+    """
+
+    def __init__(self, initial: BlockStore) -> None:
+        self.initial = initial
+        self.dim = initial.dim
+        self.block_size = initial.block_size
+        self.n_blocks = initial.n_blocks
+        self._writers: Dict[int, List[object]] = {}
+        self._lock = threading.Lock()
+
+    # -- owner lifecycle --------------------------------------------------
+
+    def attach(self, owner) -> None:
+        """Start tracking ``owner.store`` (adopting any blocks it holds)."""
+        store = owner.store
+        store._directory = self
+        store._dir_owner = owner
+        for b in store.stored_blocks():
+            self._on_write(owner, b)
+
+    def detach(self, owner) -> None:
+        """Stop tracking ``owner.store`` and purge its entries."""
+        store = owner.store
+        store._directory = None
+        store._dir_owner = None
+        with self._lock:
+            for b in store.stored_blocks():
+                lst = self._writers.get(b)
+                if lst is not None and owner in lst:
+                    lst.remove(owner)
+
+    # -- store callbacks --------------------------------------------------
+
+    @staticmethod
+    def _bisect_seq(lst: List[object], seq: int) -> int:
+        """Index of the first owner with ``.seq >= seq`` (bisect_left by seq).
+
+        Hand-rolled because :func:`bisect.bisect_left` only grew ``key=`` in
+        Python 3.10 and this package supports 3.9.
+        """
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if lst[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _insert_sorted(self, lst: List[object], owner) -> None:
+        lst.insert(self._bisect_seq(lst, owner.seq), owner)
+
+    def _on_write(self, owner, block: int) -> None:
+        with self._lock:
+            lst = self._writers.get(block)
+            if lst is None:
+                lst = self._writers[block] = []
+            if owner not in lst:
+                self._insert_sorted(lst, owner)
+
+    def _on_write_many(self, owner, blocks: Sequence[int]) -> None:
+        writers = self._writers
+        with self._lock:
+            for block in blocks:
+                lst = writers.get(block)
+                if lst is None:
+                    writers[block] = [owner]
+                elif owner not in lst:
+                    self._insert_sorted(lst, owner)
+
+    def _on_drop(self, owner, block: int) -> None:
+        with self._lock:
+            lst = self._writers.get(block)
+            if lst is not None and owner in lst:
+                lst.remove(owner)
+
+    def _on_clear(self, owner, blocks: Sequence[int]) -> None:
+        with self._lock:
+            for b in blocks:
+                lst = self._writers.get(b)
+                if lst is not None and owner in lst:
+                    lst.remove(owner)
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_store(self, block: int, before_seq: int) -> BlockStore:
+        """The store owning ``block`` as of stage sequence ``before_seq``.
+
+        O(log W) in the number of writers of the block; falls back to the
+        initial-state store when no stage with ``seq < before_seq`` holds it.
+        """
+        lst = self._writers.get(block)
+        if lst:
+            lo = self._bisect_seq(lst, before_seq)
+            while lo:
+                store = lst[lo - 1].store
+                if store.has_block(block):
+                    return store
+                lo -= 1  # racing drop: fall back to the next older writer
+        return self.initial
+
+    def resolve_block(self, block: int, before_seq: int) -> np.ndarray:
+        got = self.resolve_store(block, before_seq).get_block(block)
+        assert got is not None
+        return got
+
+    def owner_runs(
+        self, first: int, last: int, before_seq: int
+    ) -> Iterator[Tuple[BlockStore, int, int]]:
+        """Maximal runs ``(store, first_block, last_block)`` of same-owner blocks."""
+        run_store: Optional[BlockStore] = None
+        run_first = first
+        for b in range(first, last + 1):
+            store = self.resolve_store(b, before_seq)
+            if store is not run_store:
+                if run_store is not None:
+                    yield run_store, run_first, b - 1
+                run_store, run_first = store, b
+        if run_store is not None:
+            yield run_store, run_first, last
+
+    def writers_of(self, block: int) -> Tuple[object, ...]:
+        """The current owners of ``block`` in seq order (for introspection)."""
+        return tuple(self._writers.get(block, ()))
+
+
+class DirectoryReader(_ResolvingReader):
+    """A :class:`StateReader` view of a directory "as of" one stage.
+
+    Construction is O(1) -- unlike :class:`StoreChain` there is no store
+    list to copy -- and every block lookup is an O(log W) directory
+    resolution.  ``before_seq`` is exclusive: a stage reads the output of
+    stages strictly before it.
+    """
+
+    __slots__ = ("directory", "before_seq", "dim", "block_size", "n_blocks")
+
+    def __init__(self, directory: BlockDirectory, before_seq: int) -> None:
+        self.directory = directory
+        self.before_seq = before_seq
+        self.dim = directory.dim
+        self.block_size = directory.block_size
+        self.n_blocks = directory.n_blocks
+
+    def resolve_block(self, block: int) -> np.ndarray:
+        return self.directory.resolve_block(block, self.before_seq)
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:
+        """Range read that resolves whole same-owner block runs at a time.
+
+        Overrides the per-block mixin implementation so that a long run of
+        never-written blocks becomes one dense zero allocation instead of
+        one cached zero block per block.
+        """
+        self._check_range(lo, hi)
+        directory = self.directory
+        block_size = self.block_size
+        first = lo // block_size
+        last = hi // block_size
+        initial = directory.initial
+        parts: List[np.ndarray] = []
+        for store, rf, rl in directory.owner_runs(first, last, self.before_seq):
+            rlo = max(lo, rf * block_size)
+            rhi = min(hi, (rl + 1) * block_size - 1, self.dim - 1)
+            if store is initial and isinstance(store, InitialStateStore):
+                # whole run in one allocation, no per-block zero caching
+                parts.append(store.read_dense(rlo, rhi))
+                continue
+            for b in range(rf, rl + 1):
+                blo, bhi = block_bounds(b, block_size, self.dim)
+                blk = store.get_block(b)
+                s = max(lo, blo) - blo
+                e = min(hi, bhi) - blo
+                parts.append(blk[s : e + 1])
+        if len(parts) == 1:
+            return np.array(parts[0], copy=True)
+        return np.concatenate(parts)
 
 
 @dataclass(frozen=True)

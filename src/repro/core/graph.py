@@ -19,7 +19,7 @@ update) of the paper:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
 
 from .blocks import BlockRange, IntervalSet
 from .stage import MatVecStage, Stage
@@ -108,12 +108,26 @@ class GraphStats:
 class PartitionGraph:
     """Ordered stages, their partition nodes, edges and the frontier list."""
 
-    def __init__(self, full_block_range: BlockRange) -> None:
+    def __init__(
+        self,
+        full_block_range: BlockRange,
+        *,
+        on_stage_inserted: Optional[Callable[[Stage], None]] = None,
+        on_stage_removed: Optional[Callable[[Stage], None]] = None,
+    ) -> None:
         self._stages: List[Stage] = []
         self._nodes_by_stage: Dict[int, List[PartitionNode]] = {}
         self._sync_by_stage: Dict[int, Optional[PartitionNode]] = {}
         self._frontiers: Set[PartitionNode] = set()
         self._full_range = full_block_range
+        self._num_nodes = 0
+        #: seq-maintenance hooks: fired after a stage enters the global order
+        #: (its seq is valid) and after it leaves it.  The simulator uses
+        #: these to attach/detach stage stores to its block directory.  Both
+        #: events renumber stage seqs, but never permute surviving stages
+        #: relative to each other -- an invariant the directory relies on.
+        self._on_stage_inserted = on_stage_inserted
+        self._on_stage_removed = on_stage_removed
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -150,6 +164,10 @@ class PartitionGraph:
             out.extend(self.stage_nodes(s))
         return out
 
+    def num_nodes(self) -> int:
+        """Total node count, maintained incrementally (no graph traversal)."""
+        return self._num_nodes
+
     @property
     def frontiers(self) -> Set[PartitionNode]:
         return set(self._frontiers)
@@ -166,7 +184,7 @@ class PartitionGraph:
     def stats(self) -> GraphStats:
         return GraphStats(
             num_stages=len(self._stages),
-            num_nodes=len(self.all_nodes()),
+            num_nodes=self._num_nodes,
             num_edges=self.num_edges(),
             num_frontiers=len(self._frontiers),
         )
@@ -188,6 +206,8 @@ class PartitionGraph:
             raise IndexError(f"stage position {position} out of range")
         self._stages.insert(position, stage)
         self._reindex()
+        if self._on_stage_inserted is not None:
+            self._on_stage_inserted(stage)
         nodes = self._create_nodes(stage)
         for node in nodes:
             if node.is_sync:
@@ -219,6 +239,7 @@ class PartitionGraph:
                 n.preds.add(sync)
         self._sync_by_stage[stage.uid] = sync
         created = ([sync] if sync is not None else []) + nodes
+        self._num_nodes += len(created)
         return created
 
     # -- connection scans -------------------------------------------------
@@ -350,7 +371,10 @@ class PartitionGraph:
         self._stages.remove(stage)
         self._nodes_by_stage.pop(stage.uid, None)
         self._sync_by_stage.pop(stage.uid, None)
+        self._num_nodes -= len(removed)
         self._reindex()
+        if self._on_stage_removed is not None:
+            self._on_stage_removed(stage)
         for node in downstream:
             self._frontiers.add(node)
         return downstream

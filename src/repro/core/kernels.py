@@ -38,6 +38,7 @@ __all__ = [
     "apply_monomial_range",
     "apply_matvec_range",
     "apply_action_range",
+    "apply_action_run",
     "apply_gate_dense",
     "apply_matrix_dense",
 ]
@@ -46,11 +47,17 @@ _DTYPE = np.complex128
 
 
 class StateReader(Protocol):
-    """Anything that can serve gate-input amplitudes (StoreChain, arrays...)."""
+    """Anything that can serve gate-input amplitudes.
+
+    Implemented by :class:`~repro.core.cow.StoreChain`,
+    :class:`~repro.core.cow.DirectoryReader` and :class:`ArrayReader`.
+    """
 
     def read_range(self, lo: int, hi: int) -> np.ndarray: ...
 
     def gather(self, indices: np.ndarray) -> np.ndarray: ...
+
+    def full_vector(self) -> np.ndarray: ...
 
 
 class ArrayReader:
@@ -64,6 +71,9 @@ class ArrayReader:
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
         return self.state[np.asarray(indices, dtype=np.int64)]
+
+    def full_vector(self) -> np.ndarray:
+        return np.array(self.state, copy=True)
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +229,27 @@ def apply_action_range(
     if isinstance(action, MatVecAction):
         return apply_matvec_range(reader, lo, hi, qubits, action.matrix)
     raise TypeError(f"unknown action type {type(action)!r}")
+
+
+def apply_action_run(
+    reader: StateReader,
+    store,
+    lo: int,
+    hi: int,
+    qubits: Sequence[int],
+    action,
+) -> None:
+    """Compute ``[lo, hi]`` and publish the result into ``store`` zero-copy.
+
+    This is the run-granular entry point used by batched block-run tasks:
+    one kernel invocation covers a whole aligned run of blocks (keeping the
+    strided fast paths, which only need the range to be an aligned power of
+    two) and the freshly allocated output is handed to
+    ``BlockStore.write_range(..., copy=False)``, so the store keeps views of
+    the kernel output instead of copying it block by block.
+    """
+    out = apply_action_range(reader, lo, hi, qubits, action)
+    store.write_range(lo, out, copy=False)
 
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,11 @@ maintains, across circuit modifiers, the partition task graph of §III.C-D.
 Calling :meth:`QTaskSimulator.update_state` re-simulates exactly the
 partitions affected by the modifiers issued since the previous update (found
 by DFS from the frontier list, §III.E), executing them as a Taskflow-style
-task graph on the configured executor.
+task graph on the configured executor.  Stage inputs are resolved through
+the simulator-owned :class:`~repro.core.cow.BlockDirectory` (O(log W) block
+ownership lookups; ``block_directory=False`` falls back to the legacy O(S)
+store-chain walk for A/B comparison), and partition bodies execute as
+batched aligned block runs feeding the strided kernels.
 
 The facade class most applications use is :class:`repro.QTask`, which bundles
 a circuit and a simulator behind the paper's Table-II API.
@@ -13,6 +17,7 @@ a circuit and a simulator behind the paper's Table-II API.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
@@ -22,7 +27,13 @@ import numpy as np
 from ..parallel import Executor, SequentialExecutor, TaskGraph, make_executor
 from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_size
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
-from .cow import InitialStateStore, MemoryReport, StoreChain
+from .cow import (
+    BlockDirectory,
+    DirectoryReader,
+    InitialStateStore,
+    MemoryReport,
+    StoreChain,
+)
 from .exceptions import CircuitError
 from .gates import Gate, compose_actions, is_superposition_gate
 from .graph import PartitionGraph, PartitionNode
@@ -61,10 +72,16 @@ class QTaskSimulator(CircuitObserver):
         copy_on_write: bool = True,
         fusion: bool = False,
         max_fused_qubits: int = 4,
+        block_directory: bool = True,
     ) -> None:
         self.circuit = circuit
         self.block_size = validate_block_size(block_size)
         self.copy_on_write = bool(copy_on_write)
+        #: Resolve block reads through the O(log W) block directory instead
+        #: of the legacy O(S) store-chain walk.  ``False`` keeps the linear
+        #: chain alive as the pre-directory baseline for A/B benchmarks and
+        #: the directory==chain property tests; results are bit-identical.
+        self.block_directory = bool(block_directory)
         #: Fuse runs of consecutive non-superposition stages into single
         #: diagonal/monomial stages over the union qubit support.  Fusion
         #: relies on the net invariant (gates in one net are qubit-disjoint),
@@ -81,7 +98,15 @@ class QTaskSimulator(CircuitObserver):
         self.executor: Executor = executor or make_executor(num_workers)
 
         self._initial = InitialStateStore(self.dim, self.block_size)
-        self.graph = PartitionGraph(BlockRange(0, self.n_blocks - 1))
+        #: block-ownership index: block id -> stages holding it, seq-sorted.
+        #: Maintained push-style by the stage stores through the partition
+        #: graph's insert/remove hooks (see BlockDirectory in core.cow).
+        self._directory = BlockDirectory(self._initial)
+        self.graph = PartitionGraph(
+            BlockRange(0, self.n_blocks - 1),
+            on_stage_inserted=self._on_stage_entered,
+            on_stage_removed=self._on_stage_left,
+        )
 
         #: stages of each net, in within-net order
         self._net_stages: Dict[int, List[Stage]] = {}
@@ -97,6 +122,11 @@ class QTaskSimulator(CircuitObserver):
         self._stage_net: Dict[int, int] = {}
         #: number of live fused stages (lets insertions skip conflict scans)
         self._num_fused = 0
+        #: cached net-order index (net uid -> position) used by
+        #: _global_position/_dissolve_conflicting; invalidated whenever a net
+        #: is inserted or removed instead of being rebuilt on every gate.
+        self._net_index: Optional[Dict[int, int]] = None
+        self._net_uid_order: List[int] = []
 
         self.last_update: UpdateReport = UpdateReport()
         self._num_updates = 0
@@ -128,17 +158,31 @@ class QTaskSimulator(CircuitObserver):
                 self.on_gate_inserted(self.circuit, handle)
 
     # ------------------------------------------------------------------
+    # partition-graph hooks: keep the block directory in sync
+    # ------------------------------------------------------------------
+
+    def _on_stage_entered(self, stage: Stage) -> None:
+        if self.block_directory:
+            self._directory.attach(stage)
+
+    def _on_stage_left(self, stage: Stage) -> None:
+        if self.block_directory:
+            self._directory.detach(stage)
+
+    # ------------------------------------------------------------------
     # CircuitObserver callbacks: maintain stages + partition graph
     # ------------------------------------------------------------------
 
     def on_net_inserted(self, circuit: Circuit, net: NetHandle, position: int) -> None:
         self._net_stages.setdefault(net.uid, [])
+        self._net_index = None
 
     def on_net_removed(self, circuit: Circuit, net: NetHandle,
                        removed_gates: Sequence[GateHandle]) -> None:
         # Individual gate removals already dismantled the net's stages.
         self._net_stages.pop(net.uid, None)
         self._matvec.pop(net.uid, None)
+        self._net_index = None
 
     def on_gate_inserted(self, circuit: Circuit, handle: GateHandle) -> None:
         net = handle.net
@@ -295,7 +339,7 @@ class QTaskSimulator(CircuitObserver):
         if not candidates:
             return False
         qubits = set(gate.qubits)
-        net_positions = {n.uid: i for i, n in enumerate(self.circuit.nets())}
+        net_positions = self._net_positions()
         net_pos = net_positions[net.uid]
         conflicting: List[FusedUnitaryStage] = []
         for stage in candidates:
@@ -333,13 +377,26 @@ class QTaskSimulator(CircuitObserver):
             )
             self._insert_stage(h, h.net, single)
 
+    def _net_positions(self) -> Dict[int, int]:
+        """Net uid -> circuit position, rebuilt only after net insert/remove."""
+        cache = self._net_index
+        if cache is None:
+            self._net_uid_order = [n.uid for n in self.circuit.nets()]
+            cache = {uid: i for i, uid in enumerate(self._net_uid_order)}
+            self._net_index = cache
+        return cache
+
     def _global_position(self, net: NetHandle, within: int) -> int:
+        idx = self._net_positions().get(net.uid)
+        if idx is None:
+            # net not found (should not happen): append at the end
+            return sum(len(s) for s in self._net_stages.values()) + within
+        net_stages = self._net_stages
         pos = 0
-        for n in self.circuit.nets():
-            if n is net:
-                return pos + within
-            pos += len(self._net_stages.get(n.uid, []))
-        # net not found (should not happen): append at the end
+        for uid in self._net_uid_order[:idx]:
+            stages = net_stages.get(uid)
+            if stages:
+                pos += len(stages)
         return pos + within
 
     def on_gate_removed(self, circuit: Circuit, handle: GateHandle) -> None:
@@ -390,7 +447,7 @@ class QTaskSimulator(CircuitObserver):
             )
             if not self.graph.frontiers and self._num_updates > 0:
                 affected = []
-        total_nodes = len(self.graph.all_nodes())
+        total_nodes = self.graph.num_nodes()
         report = UpdateReport(
             affected_partitions=len(affected),
             total_partitions=total_nodes,
@@ -404,7 +461,15 @@ class QTaskSimulator(CircuitObserver):
         self._num_updates += 1
         return report
 
-    def _reader_for(self, stage: Stage, stage_order: List[Stage]) -> StoreChain:
+    def _reader_for(self, stage: Stage, stage_order: List[Stage]):
+        """The stage-input view: everything written strictly before ``stage``.
+
+        Directory mode returns an O(1) :class:`DirectoryReader` (resolution
+        is an O(log W) lookup per block); legacy mode builds the O(S) store
+        chain the paper's naive formulation implies.
+        """
+        if self.block_directory:
+            return DirectoryReader(self._directory, stage.seq)
         stores = [self._initial] + [s.store for s in stage_order[: stage.seq]]
         return StoreChain(stores)
 
@@ -415,7 +480,7 @@ class QTaskSimulator(CircuitObserver):
             # blocks so no stale copy can shadow the recomputation.
             for stage in stage_order:
                 stage.store.clear()
-        readers: Dict[int, StoreChain] = {}
+        readers: Dict[int, object] = {}
         for node in affected:
             if node.stage.uid not in readers:
                 readers[node.stage.uid] = self._reader_for(node.stage, stage_order)
@@ -449,7 +514,7 @@ class QTaskSimulator(CircuitObserver):
             block_writes += self._fill_dense_blocks(affected, readers)
         return block_writes
 
-    def _make_sync_body(self, node: PartitionNode, reader: StoreChain):
+    def _make_sync_body(self, node: PartitionNode, reader):
         stage = node.stage
 
         def body():
@@ -457,11 +522,13 @@ class QTaskSimulator(CircuitObserver):
 
         return body
 
-    def _make_partition_body(self, node: PartitionNode, reader: StoreChain):
+    def _make_partition_body(self, node: PartitionNode, reader):
         stage = node.stage
         block_range = node.block_range
 
         def body():
+            # One closure per batched block run; single-run subflows are
+            # executed inline by the executors themselves.
             return stage.block_tasks(reader, block_range)
 
         return body
@@ -469,7 +536,7 @@ class QTaskSimulator(CircuitObserver):
     def _fill_dense_blocks(
         self,
         affected: List[PartitionNode],
-        readers: Dict[int, StoreChain],
+        readers: Dict[int, object],
     ) -> int:
         """In non-COW mode every affected stage materialises its full vector.
 
@@ -499,7 +566,10 @@ class QTaskSimulator(CircuitObserver):
     # queries
     # ------------------------------------------------------------------
 
-    def _full_chain(self) -> StoreChain:
+    def _full_chain(self):
+        """A reader over the final state (all stages applied)."""
+        if self.block_directory:
+            return DirectoryReader(self._directory, sys.maxsize)
         stores = [self._initial] + [s.store for s in self.graph.stages]
         return StoreChain(stores)
 
@@ -535,6 +605,7 @@ class QTaskSimulator(CircuitObserver):
                 "num_updates": self._num_updates,
                 "num_workers": self.executor.num_workers,
                 "copy_on_write": self.copy_on_write,
+                "block_directory": self.block_directory,
                 "fusion": self.fusion,
                 "num_fused_stages": self._num_fused,
                 "last_affected_partitions": self.last_update.affected_partitions,

@@ -21,10 +21,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .blocks import BlockRange, block_bounds, num_blocks
-from .cow import BlockStore, StoreChain
-from .gates import Action, Gate, MatVecAction, classify_matrix, fuse_gate_actions
-from .kernels import apply_action_range, apply_gate_dense, apply_matrix_dense
+from .blocks import BlockRange, aligned_block_runs, num_blocks
+from .cow import BlockStore
+from .gates import Action, Gate, MatVecAction, fuse_gate_actions
+from .kernels import StateReader, apply_action_run, apply_gate_dense
 from .partition import PartitionSpec, derive_partitions, matvec_partitions
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "FusedUnitaryStage",
     "MatVecStage",
     "MATVEC_COMBINE_LIMIT",
+    "MAX_RUN_BLOCKS",
 ]
 
 #: Compute MxV partitions directly from the combined operator's matrix rows
@@ -43,6 +44,13 @@ __all__ = [
 #: path is dominated by per-call overhead.  Tests exercise both paths via the
 #: ``combine_limit`` constructor argument (see DESIGN.md "Notes on fidelity").
 MATVEC_COMBINE_LIMIT = 0
+
+#: Cap (in blocks, a power of two) on one batched block-run task.  Partition
+#: block ranges are decomposed into aligned power-of-two runs of at most this
+#: many blocks: each run is one kernel call plus one zero-copy range write
+#: instead of one closure + copy per block, while staying small enough that
+#: partitions still split into a few parallelisable chunks.
+MAX_RUN_BLOCKS = 64
 
 _stage_counter = itertools.count()
 
@@ -84,21 +92,37 @@ class Stage:
         return False
 
     def block_tasks(
-        self, reader: StoreChain, block_range: BlockRange
+        self, reader: StateReader, block_range: BlockRange
     ) -> List[Callable[[], None]]:
         """Callables that compute and store the blocks of one partition."""
         raise NotImplementedError
 
-    def prepare(self, reader: StoreChain) -> None:
+    def prepare(self, reader: StateReader) -> None:
         """Hook executed once per update before the stage's block tasks."""
 
     # -- helpers --------------------------------------------------------------
 
     def write_full(self, vector: np.ndarray) -> None:
         """Store an entire state vector (used by non-COW mode and matvec)."""
-        for b in range(self.n_blocks):
-            lo, hi = block_bounds(b, self.block_size, self.dim)
-            self.store.write_block(b, vector[lo : hi + 1])
+        arr = np.asarray(vector).reshape(-1)
+        if arr.shape[0] != self.dim:
+            raise ValueError(
+                f"full write expects {self.dim} amplitudes, got {arr.shape[0]}"
+            )
+        self.store.write_range(0, arr)
+
+    def _run_tasks(self, make_body, block_range: BlockRange):
+        """One closure per aligned power-of-two run of ``block_range``."""
+        block_size = self.block_size
+        dim = self.dim
+        tasks = []
+        for fb, lb in aligned_block_runs(
+            block_range.first, block_range.last, MAX_RUN_BLOCKS
+        ):
+            lo = fb * block_size
+            hi = min(dim, (lb + 1) * block_size) - 1
+            tasks.append(make_body(lo, hi))
+        return tasks
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.label()}, seq={self.seq})"
@@ -146,22 +170,18 @@ class UnitaryStage(Stage):
         """Total number of blocks over all partitions (net-ordering heuristic)."""
         return sum(len(s.block_range) for s in self._specs)
 
-    def block_tasks(self, reader: StoreChain, block_range: BlockRange):
+    def block_tasks(self, reader: StateReader, block_range: BlockRange):
         qubits = self.qubits
         action = self.action
         store = self.store
-        block_size = self.block_size
-        dim = self.dim
 
-        def make(b: int):
+        def make(lo: int, hi: int):
             def body() -> None:
-                lo, hi = block_bounds(b, block_size, dim)
-                out = apply_action_range(reader, lo, hi, qubits, action)
-                store.write_block(b, out)
+                apply_action_run(reader, store, lo, hi, qubits, action)
 
             return body
 
-        return [make(b) for b in block_range.blocks()]
+        return self._run_tasks(make, block_range)
 
 
 class FusedUnitaryStage(UnitaryStage):
@@ -289,7 +309,7 @@ class MatVecStage(Stage):
     def _use_combined(self) -> bool:
         return len(self.combined_qubits()) <= self.combine_limit
 
-    def prepare(self, reader: StoreChain) -> None:
+    def prepare(self, reader: StateReader) -> None:
         """Materialise the full output when the combined operator is too wide."""
         self._prepared = None
         if self.is_empty or self._use_combined():
@@ -299,33 +319,30 @@ class MatVecStage(Stage):
             state = apply_gate_dense(state, g, self.qubit_count)
         self._prepared = state
 
-    def block_tasks(self, reader: StoreChain, block_range: BlockRange):
+    def block_tasks(self, reader: StateReader, block_range: BlockRange):
         store = self.store
-        block_size = self.block_size
-        dim = self.dim
 
         if self._prepared is not None:
             prepared = self._prepared
 
-            def make_copy(b: int):
+            def make_copy(lo: int, hi: int):
                 def body() -> None:
-                    lo, hi = block_bounds(b, block_size, dim)
-                    store.write_block(b, prepared[lo : hi + 1])
+                    # prepared is rebound (never mutated) by the next
+                    # prepare(), so the store can keep zero-copy views of it
+                    store.write_range(lo, prepared[lo : hi + 1], copy=False)
 
                 return body
 
-            return [make_copy(b) for b in block_range.blocks()]
+            return self._run_tasks(make_copy, block_range)
 
         qubits = self.combined_qubits()
         matrix = self.combined_matrix()
         action = MatVecAction(num_qubits=len(qubits), matrix=matrix)
 
-        def make(b: int):
+        def make(lo: int, hi: int):
             def body() -> None:
-                lo, hi = block_bounds(b, block_size, dim)
-                out = apply_action_range(reader, lo, hi, qubits, action)
-                store.write_block(b, out)
+                apply_action_run(reader, store, lo, hi, qubits, action)
 
             return body
 
-        return [make(b) for b in block_range.blocks()]
+        return self._run_tasks(make, block_range)

@@ -214,6 +214,11 @@ class WorkStealingExecutor(Executor):
         if state:
             state.task_added(len(children))
         join = _Join(len(children), lambda: self._release_successors(task, state, worker_id))
+        if len(children) == 1:
+            # Batched block-run bodies usually hand back a single fat child;
+            # run it inline on this worker instead of a queue round-trip.
+            self._execute(_Work(children[0], parent=join), worker_id)
+            return
         for fn in children:
             self._submit(_Work(fn, parent=join), worker_id)
 

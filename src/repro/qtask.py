@@ -48,6 +48,7 @@ class QTask:
         copy_on_write: bool = True,
         fusion: bool = False,
         max_fused_qubits: int = 4,
+        block_directory: bool = True,
     ) -> None:
         self.circuit = Circuit(num_qubits)
         self.simulator = QTaskSimulator(
@@ -58,6 +59,7 @@ class QTask:
             copy_on_write=copy_on_write,
             fusion=fusion,
             max_fused_qubits=max_fused_qubits,
+            block_directory=block_directory,
         )
 
     # -- lifecycle ----------------------------------------------------------
