@@ -1,0 +1,336 @@
+"""Variational parameter-sweep A/B: incremental retune vs remove+insert vs full.
+
+The paper's strongest real workload is a variational loop (QAOA/VQE): an
+optimizer repeatedly retunes gate *parameters* and re-evaluates an
+observable.  qTask's ``update_gate`` retune modifier keeps the retuned
+gate's stage and the partition-graph topology intact and merely marks the
+stage's partitions dirty, so ``update_state`` re-simulates only the retuned
+round's downstream cone -- where expressing the same edit as
+``remove_gate`` + ``insert_gate`` dismantles and rebuilds the stage's graph
+neighbourhood, and a full re-simulation rebuilds the whole simulator.
+
+The workload is a ring-MaxCut QAOA circuit (16 qubits, 3 rounds by default)
+driven through a line search over the final round's angles ``(gamma,
+beta)``.  Each sweep step retunes every ``rz`` (cost) and ``rx`` (mixer)
+gate of that round and evaluates the MaxCut cost Hamiltonian through the
+block-wise observables engine.  Four modes run the identical sweep:
+
+* ``retune``   -- qTask + ``update_gate`` (incremental, same stages),
+* ``reinsert`` -- qTask + remove+insert of every retuned gate,
+* ``full``     -- a fresh qTask simulator per step (full re-simulation),
+* ``dense``    -- the Qulacs-like dense baseline (full replay; also the
+  1e-10 ground truth for every expectation value).
+
+Run directly for a speedup table plus machine-readable JSON::
+
+    python benchmarks/bench_param_sweep.py [--qubits 16] [--rounds 3]
+        [--steps 6] [--block-size 256] [--out BENCH_param_sweep.json]
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_param_sweep.py
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.baselines import QulacsLikeSimulator
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.simulator import QTaskSimulator
+from repro.observables import maxcut_hamiltonian
+
+BASE_GAMMAS = (0.40, 0.70, 1.00, 0.55, 0.85)
+BASE_BETAS = (0.90, 0.60, 0.30, 0.75, 0.45)
+
+
+def ring_edges(num_qubits):
+    """Ring-graph edges split into structurally parallel groups.
+
+    For even qubit counts the wrap-around edge fits the odd group; for odd
+    counts it shares qubit ``n-1`` with the odd group's last edge and gets a
+    group of its own.
+    """
+    even = [(q, q + 1) for q in range(0, num_qubits - 1, 2)]
+    odd = [(q, q + 1) for q in range(1, num_qubits - 1, 2)]
+    groups = [g for g in (even, odd) if g]
+    if num_qubits > 2:
+        wrap = (num_qubits - 1, 0)
+        if num_qubits % 2 == 0:
+            odd.append(wrap)
+        else:
+            groups.append([wrap])
+    return groups
+
+
+def build_qaoa(circuit, num_qubits, rounds, gammas, betas):
+    """Ring-MaxCut QAOA with per-round retunable handles.
+
+    Returns ``(gamma_handles, beta_handles)``: per round, the ``rz`` handles
+    carrying ``2*gamma`` and the ``rx`` handles carrying ``2*beta``.
+    """
+    circuit.append_level([Gate("h", (q,)) for q in range(num_qubits)])
+    groups = ring_edges(num_qubits)
+    gamma_handles, beta_handles = [], []
+    for r in range(rounds):
+        g, b = 2.0 * gammas[r], 2.0 * betas[r]
+        round_gammas = []
+        for group in groups:
+            circuit.append_level([Gate("cx", e) for e in group])
+            _, handles = circuit.append_level(
+                [Gate("rz", (e[1],), (g,)) for e in group]
+            )
+            round_gammas.extend(handles)
+            circuit.append_level([Gate("cx", e) for e in group])
+        _, handles = circuit.append_level(
+            [Gate("rx", (q,), (b,)) for q in range(num_qubits)]
+        )
+        gamma_handles.append(round_gammas)
+        beta_handles.append(handles)
+    return gamma_handles, beta_handles
+
+
+def sweep_angles(gammas, betas, steps):
+    """The line-search schedule over the final round's ``(gamma, beta)``."""
+    return [
+        (gammas[-1] + 0.05 * (s + 1), betas[-1] - 0.04 * (s + 1))
+        for s in range(steps)
+    ]
+
+
+def run_retune(num_qubits, rounds, steps, block_size, observable):
+    """Incremental mode: ``update_gate`` on the final round, per step."""
+    gammas, betas = list(BASE_GAMMAS[:rounds]), list(BASE_BETAS[:rounds])
+    circuit = Circuit(num_qubits)
+    sim = QTaskSimulator(circuit, block_size=block_size, num_workers=1)
+    gamma_handles, beta_handles = build_qaoa(
+        circuit, num_qubits, rounds, gammas, betas
+    )
+    try:
+        sim.update_state()
+        sim.expectation(observable)  # warm the per-term caches
+        elapsed, expectations, affected = 0.0, [], []
+        for gamma, beta in sweep_angles(gammas, betas, steps):
+            t0 = time.perf_counter()
+            for h in gamma_handles[-1]:
+                circuit.update_gate(h, 2.0 * gamma)
+            for h in beta_handles[-1]:
+                circuit.update_gate(h, 2.0 * beta)
+            sim.update_state()
+            expectations.append(sim.expectation(observable))
+            elapsed += time.perf_counter() - t0
+            affected.append(sim.last_update.affected_fraction)
+        stats = sim.statistics()
+    finally:
+        sim.close()
+    return elapsed, expectations, {"affected_fraction": affected, "stats": stats}
+
+
+def run_reinsert(num_qubits, rounds, steps, block_size, observable):
+    """Remove+insert mode: the same edits expressed without ``update_gate``."""
+    gammas, betas = list(BASE_GAMMAS[:rounds]), list(BASE_BETAS[:rounds])
+    circuit = Circuit(num_qubits)
+    sim = QTaskSimulator(circuit, block_size=block_size, num_workers=1)
+    gamma_handles, beta_handles = build_qaoa(
+        circuit, num_qubits, rounds, gammas, betas
+    )
+    try:
+        sim.update_state()
+        sim.expectation(observable)
+        elapsed, expectations = 0.0, []
+        for gamma, beta in sweep_angles(gammas, betas, steps):
+            t0 = time.perf_counter()
+            for handles, angle, name in (
+                (gamma_handles[-1], 2.0 * gamma, "rz"),
+                (beta_handles[-1], 2.0 * beta, "rx"),
+            ):
+                for i, h in enumerate(handles):
+                    net, qubits = h.net, h.gate.qubits
+                    circuit.remove_gate(h)
+                    handles[i] = circuit.insert_gate(
+                        name, net, *qubits, params=(angle,)
+                    )
+            sim.update_state()
+            expectations.append(sim.expectation(observable))
+            elapsed += time.perf_counter() - t0
+    finally:
+        sim.close()
+    return elapsed, expectations, {}
+
+
+def run_full(num_qubits, rounds, steps, block_size, observable):
+    """Full mode: a fresh qTask simulator per sweep step."""
+    gammas, betas = list(BASE_GAMMAS[:rounds]), list(BASE_BETAS[:rounds])
+    elapsed, expectations = 0.0, []
+    for gamma, beta in sweep_angles(gammas, betas, steps):
+        t0 = time.perf_counter()
+        circuit = Circuit(num_qubits)
+        sim = QTaskSimulator(circuit, block_size=block_size, num_workers=1)
+        build_qaoa(
+            circuit, num_qubits, rounds, gammas[:-1] + [gamma], betas[:-1] + [beta]
+        )
+        sim.update_state()
+        expectations.append(sim.expectation(observable))
+        sim.close()
+        elapsed += time.perf_counter() - t0
+    return elapsed, expectations, {}
+
+
+def run_dense(num_qubits, rounds, steps, block_size, observable):
+    """Dense baseline: Qulacs-like full replay (also the ground truth)."""
+    gammas, betas = list(BASE_GAMMAS[:rounds]), list(BASE_BETAS[:rounds])
+    circuit = Circuit(num_qubits)
+    gamma_handles, beta_handles = build_qaoa(
+        circuit, num_qubits, rounds, gammas, betas
+    )
+    sim = QulacsLikeSimulator(circuit, num_workers=1)
+    try:
+        sim.update_state()
+        elapsed, expectations = 0.0, []
+        for gamma, beta in sweep_angles(gammas, betas, steps):
+            t0 = time.perf_counter()
+            for h in gamma_handles[-1]:
+                circuit.update_gate(h, 2.0 * gamma)
+            for h in beta_handles[-1]:
+                circuit.update_gate(h, 2.0 * beta)
+            sim.update_state()
+            expectations.append(sim.expectation(observable))
+            elapsed += time.perf_counter() - t0
+    finally:
+        sim.close()
+    return elapsed, expectations, {}
+
+
+MODES = {
+    "retune": run_retune,
+    "reinsert": run_reinsert,
+    "full": run_full,
+    "dense": run_dense,
+}
+
+
+def run_ab(num_qubits=16, rounds=3, steps=6, block_size=256):
+    """All four modes, cross-checked expectations, and the result record."""
+    edges = [e for group in ring_edges(num_qubits) for e in group]
+    observable = maxcut_hamiltonian(edges)
+    results = {}
+    for mode, fn in MODES.items():
+        elapsed, expectations, extra = fn(
+            num_qubits, rounds, steps, block_size, observable
+        )
+        results[mode] = {"seconds": elapsed, "expectations": expectations, **extra}
+    truth = results["dense"]["expectations"]
+    max_diff = max(
+        abs(e - t)
+        for mode in ("retune", "reinsert", "full")
+        for e, t in zip(results[mode]["expectations"], truth)
+    )
+    retune_t = results["retune"]["seconds"]
+    record = {
+        "benchmark": "param_sweep",
+        "workload": "ring-MaxCut QAOA final-round (gamma, beta) line search",
+        "num_qubits": num_qubits,
+        "rounds": rounds,
+        "sweep_steps": steps,
+        "block_size": block_size,
+        "expectation_max_abs_diff": max_diff,
+        "speedup_vs_full": results["full"]["seconds"] / retune_t,
+        "speedup_vs_reinsert": results["reinsert"]["seconds"] / retune_t,
+        "speedup_vs_dense": results["dense"]["seconds"] / retune_t,
+        "retune_affected_fraction": statistics.mean(
+            results["retune"]["affected_fraction"]
+        ),
+        "expectations": truth,
+    }
+    for mode in MODES:
+        record[f"{mode}_seconds"] = results[mode]["seconds"]
+        record[f"{mode}_ms_per_step"] = 1e3 * results[mode]["seconds"] / steps
+    record["graph_stats"] = results["retune"]["stats"]
+    return record
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct script execution only
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("mode", ["retune", "reinsert", "full"])
+    def test_param_sweep(benchmark, mode):
+        edges = [e for group in ring_edges(12) for e in group]
+        observable = maxcut_hamiltonian(edges)
+
+        def run():
+            elapsed, _, _ = MODES[mode](12, 2, 3, 256, observable)
+            return elapsed
+
+        benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+        benchmark.extra_info["mode"] = mode
+
+
+# ---------------------------------------------------------------------------
+# direct execution: speedup table + JSON
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--qubits", type=int, default=16)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument("--block-size", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="A/B repetitions; the median speedup is reported")
+    parser.add_argument("--out", default="BENCH_param_sweep.json",
+                        help="path for the machine-readable JSON result")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="PASS threshold on retune-vs-full speedup")
+    args = parser.parse_args(argv)
+    if args.rounds > len(BASE_GAMMAS):
+        parser.error(f"--rounds must be <= {len(BASE_GAMMAS)}")
+
+    runs = [
+        run_ab(args.qubits, args.rounds, args.steps, args.block_size)
+        for _ in range(args.repeats)
+    ]
+    median = statistics.median(r["speedup_vs_full"] for r in runs)
+    result = dict(min(runs, key=lambda r: abs(r["speedup_vs_full"] - median)))
+    result["speedup_runs"] = [r["speedup_vs_full"] for r in runs]
+    result["speedup_vs_full"] = median
+    result["min_speedup_target"] = args.min_speedup
+
+    equal = result["expectation_max_abs_diff"] <= 1e-10
+    passed = equal and result["speedup_vs_full"] >= args.min_speedup
+    result["passed"] = passed
+
+    print(f"{'mode':<10} {'ms/step':>10}")
+    for mode in MODES:
+        print(f"{mode:<10} {result[f'{mode}_ms_per_step']:>10.2f}")
+    print(f"retune vs full:     {result['speedup_vs_full']:.2f}x (runs: "
+          + ", ".join(f"{s:.2f}x" for s in result["speedup_runs"])
+          + f"; target >= {args.min_speedup:.1f}x)")
+    print(f"retune vs reinsert: {result['speedup_vs_reinsert']:.2f}x")
+    print(f"retune vs dense:    {result['speedup_vs_dense']:.2f}x")
+    print(f"affected fraction per retune step: "
+          f"{result['retune_affected_fraction'] * 100:.1f}%")
+    print(f"expectation max |diff| vs dense: "
+          f"{result['expectation_max_abs_diff']:.2e} (must be <= 1e-10)")
+    print("PASS" if passed else "FAIL")
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return passed
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main() else 1)

@@ -26,6 +26,7 @@ from .core.blocks import DEFAULT_BLOCK_SIZE
 from .core.circuit import Circuit
 from .core.gates import Gate, gate_matrix
 from .core.simulator import QTaskSimulator, UpdateReport
+from .observables import PauliString, PauliSum
 from .qtask import QTask
 
 __version__ = "1.0.0"
@@ -37,6 +38,8 @@ __all__ = [
     "Circuit",
     "Gate",
     "gate_matrix",
+    "PauliString",
+    "PauliSum",
     "DEFAULT_BLOCK_SIZE",
     "__version__",
 ]

@@ -5,11 +5,13 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..core.circuit import Circuit
+from ..core.gates import extract_local
+from ..observables.engine import dense_expectation, statevector_counts
 
 __all__ = ["BaselineResult", "BaselineSimulator"]
 
@@ -77,6 +79,30 @@ class BaselineSimulator(ABC):
 
     def norm(self) -> float:
         return float(np.linalg.norm(self._state))
+
+    # -- observables & measurement (dense; A/B-comparable with qTask) --------
+
+    def expectation(self, observable) -> float:
+        """``<psi|H|psi>`` of a Hermitian Pauli observable (dense path)."""
+        return dense_expectation(self._state, observable)
+
+    def sample(self, shots: int, *, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``shots`` basis-state samples from ``|psi|^2``."""
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        rng = np.random.default_rng(seed)
+        return rng.choice(self.dim, size=shots, p=probs)
+
+    def counts(self, shots: int, *, seed: Optional[int] = None) -> Dict[str, int]:
+        """Measurement histogram ``{bitstring: count}`` over ``shots`` draws."""
+        return statevector_counts(self._state, shots, seed=seed)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome distribution of measuring ``qubits`` (qubits[0] = bit 0)."""
+        qs = tuple(int(q) for q in qubits)
+        probs = self.probabilities()
+        local = extract_local(np.arange(self.dim, dtype=np.int64), qs)
+        return np.bincount(local, weights=probs, minlength=1 << len(qs))
 
     def allocated_bytes(self) -> int:
         """Logical memory footprint (a working vector plus a scratch vector)."""

@@ -9,11 +9,13 @@ factory produced the adapter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..baselines import QiskitLikeSimulator, QulacsLikeSimulator
 from ..core.blocks import DEFAULT_BLOCK_SIZE
-from ..core.circuit import Circuit
+from ..core.circuit import Circuit, GateHandle
 from ..core.simulator import QTaskSimulator
 
 __all__ = [
@@ -39,6 +41,31 @@ class SimulatorAdapter:
 
     def state(self):
         return self.impl.state()
+
+    def probabilities(self) -> np.ndarray:
+        return self.impl.probabilities()
+
+    def norm(self) -> float:
+        return self.impl.norm()
+
+    # -- observables & modifiers (uniform over qTask and the baselines) ------
+
+    def expectation(self, observable) -> float:
+        """``<psi|H|psi>`` of a Pauli observable on the current state."""
+        return self.impl.expectation(observable)
+
+    def sample(self, shots: int, *, seed: Optional[int] = None) -> np.ndarray:
+        return self.impl.sample(shots, seed=seed)
+
+    def counts(self, shots: int, *, seed: Optional[int] = None) -> Dict[str, int]:
+        return self.impl.counts(shots, seed=seed)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        return self.impl.marginal_probabilities(qubits)
+
+    def update_gate(self, handle: GateHandle, *params: float) -> GateHandle:
+        """Retune a gate of the shared circuit (every adapter sees the edit)."""
+        return self.impl.circuit.update_gate(handle, *params)
 
     def allocated_bytes(self) -> int:
         if hasattr(self.impl, "memory_report"):
@@ -68,6 +95,7 @@ def qtask_factory(
     fusion: bool = False,
     max_fused_qubits: int = 4,
     block_directory: bool = True,
+    observable_cache: bool = True,
     name: str = "qTask",
 ) -> SimulatorFactory:
     def build(circuit: Circuit) -> SimulatorAdapter:
@@ -79,6 +107,7 @@ def qtask_factory(
             fusion=fusion,
             max_fused_qubits=max_fused_qubits,
             block_directory=block_directory,
+            observable_cache=observable_cache,
         )
         return SimulatorAdapter(name, sim, incremental=True)
 

@@ -106,6 +106,12 @@ class CircuitObserver:
     def on_gate_removed(self, circuit: "Circuit", handle: GateHandle) -> None:
         pass
 
+    def on_gate_updated(
+        self, circuit: "Circuit", handle: GateHandle, old_gate: Gate
+    ) -> None:
+        """``handle``'s gate was retuned in place (same name/qubits, new params)."""
+        pass
+
 
 class Circuit:
     """An ordered list of nets of structurally parallel gates."""
@@ -267,6 +273,31 @@ class Circuit:
         handle.alive = False
         for obs in self._observers:
             obs.on_gate_removed(self, handle)
+
+    def update_gate(self, handle: GateHandle, *params: float) -> GateHandle:
+        """Retune an existing gate's parameters in place (the retune modifier).
+
+        The gate keeps its name, its qubits, its net and -- crucially -- its
+        handle identity, so observers can keep the gate's stage and the
+        partition-graph topology intact and merely mark the stage dirty.
+        Expressing the same edit as ``remove_gate`` + ``insert_gate`` would
+        instead dismantle and rebuild the stage's graph neighbourhood.
+
+        Raises :class:`~repro.core.exceptions.GateArityError` when the
+        parameter count does not match the gate, and
+        :class:`StaleHandleError` for removed handles.  Returns ``handle``.
+        """
+        handle._check_alive()
+        net = handle.net
+        if handle not in net.gates:
+            raise StaleHandleError(f"gate {handle!r} does not belong to its net")
+        old_gate = handle.gate
+        # Same name and qubits: the net invariant cannot be violated, and the
+        # Gate constructor re-validates the parameter count.
+        handle.gate = Gate(old_gate.name, old_gate.qubits, tuple(params))
+        for obs in self._observers:
+            obs.on_gate_updated(self, handle, old_gate)
+        return handle
 
     # -- bulk helpers ---------------------------------------------------------
 

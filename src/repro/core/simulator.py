@@ -17,10 +17,11 @@ a circuit and a simulator behind the paper's Table-II API.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
 
 import numpy as np
 
@@ -73,6 +74,7 @@ class QTaskSimulator(CircuitObserver):
         fusion: bool = False,
         max_fused_qubits: int = 4,
         block_directory: bool = True,
+        observable_cache: bool = True,
     ) -> None:
         self.circuit = circuit
         self.block_size = validate_block_size(block_size)
@@ -131,6 +133,17 @@ class QTaskSimulator(CircuitObserver):
         self.last_update: UpdateReport = UpdateReport()
         self._num_updates = 0
 
+        #: cache per-(term, block) observable partials across updates; with
+        #: ``False`` the (lazily created) observables engine recomputes every
+        #: query from the block stores (the caching-ablation baseline).
+        self.observable_cache = bool(observable_cache)
+        #: dirty-block listeners: callables receiving the ids of every block
+        #: (re)written by an update or orphaned by a stage removal.  The
+        #: observables engine registers here so its per-block caches are
+        #: invalidated by exactly the frontier the incremental update scopes.
+        self._dirty_listeners: List[Callable[[Iterable[int]], None]] = []
+        self._observables = None
+
         circuit.register_observer(self)
         self._sync_existing()
 
@@ -166,8 +179,34 @@ class QTaskSimulator(CircuitObserver):
             self._directory.attach(stage)
 
     def _on_stage_left(self, stage: Stage) -> None:
+        # A departing stage's stored blocks now resolve to an *older* writer,
+        # which changes the final state even when nothing re-executes (e.g.
+        # removing the last gate of the circuit) -- so they are dirty now.
+        self._notify_dirty(stage.store.stored_blocks())
         if self.block_directory:
             self._directory.detach(stage)
+
+    # ------------------------------------------------------------------
+    # dirty-block listeners (observable caches)
+    # ------------------------------------------------------------------
+
+    def add_dirty_listener(self, listener: Callable[[Iterable[int]], None]) -> None:
+        """Subscribe to dirty-block notifications (see ``_dirty_listeners``)."""
+        if listener not in self._dirty_listeners:
+            self._dirty_listeners.append(listener)
+
+    def remove_dirty_listener(self, listener: Callable[[Iterable[int]], None]) -> None:
+        if listener in self._dirty_listeners:
+            self._dirty_listeners.remove(listener)
+
+    def _notify_dirty(self, blocks: Iterable[int]) -> None:
+        if not self._dirty_listeners:
+            return
+        blocks = tuple(blocks)
+        if not blocks:
+            return
+        for listener in self._dirty_listeners:
+            listener(blocks)
 
     # ------------------------------------------------------------------
     # CircuitObserver callbacks: maintain stages + partition graph
@@ -399,6 +438,54 @@ class QTaskSimulator(CircuitObserver):
                 pos += len(stages)
         return pos + within
 
+    def on_gate_updated(
+        self, circuit: Circuit, handle: GateHandle, old_gate: Gate
+    ) -> None:
+        """A gate was retuned in place: keep its stage, mark it dirty.
+
+        The stage object, its store, and the partition-graph topology all
+        survive a retune whenever the new parameters preserve the action's
+        classification and partition layout (the overwhelmingly common case
+        in variational sweeps: ``rz``/``rx``/``cp`` angle changes).  Only the
+        stage's own partitions join the frontier; the incremental update then
+        re-simulates exactly the downstream cone -- the same scope a newly
+        inserted gate would have, without any graph surgery.
+
+        When the retune *does* change the classification (e.g. ``rx(pi)``
+        <-> ``rx(pi/2)`` crossing the permutation/superposition boundary) or
+        the layout (angles collapsing a gate to the identity), the stage is
+        rebuilt through the ordinary remove+insert observer path; the gate
+        handle keeps its identity either way.
+        """
+        stage = self._gate_stage.get(handle.uid)
+        if stage is None:
+            return
+        new_gate = handle.gate
+        if isinstance(stage, MatVecStage):
+            if is_superposition_gate(new_gate) and stage.retune_gate(
+                old_gate, new_gate
+            ):
+                self.graph.touch_stage(stage)
+                return
+        elif isinstance(stage, FusedUnitaryStage):
+            members = self._stage_handles[stage.uid]
+            if not is_superposition_gate(new_gate) and stage.recompose(
+                [h.gate for h in members]
+            ):
+                self.graph.touch_stage(stage)
+                return
+        else:
+            if stage.retune(new_gate):
+                self.graph.touch_stage(stage)
+                return
+        # Classification or partition layout changed: rebuild this gate's
+        # stage via the remove+insert path.  The removal path must see the
+        # *old* gate (matvec stages look members up by value).
+        handle.gate = old_gate
+        self.on_gate_removed(circuit, handle)
+        handle.gate = new_gate
+        self.on_gate_inserted(circuit, handle)
+
     def on_gate_removed(self, circuit: Circuit, handle: GateHandle) -> None:
         stage = self._gate_stage.pop(handle.uid, None)
         if stage is None:
@@ -455,6 +542,16 @@ class QTaskSimulator(CircuitObserver):
         )
         if affected:
             report.executed_block_writes = self._execute(affected)
+            if self._dirty_listeners:
+                if self.copy_on_write:
+                    dirty: Set[int] = set()
+                    for node in affected:
+                        if not node.is_sync:
+                            dirty.update(node.block_range.blocks())
+                else:
+                    # dense mode rewrites (and back-fills) whole vectors
+                    dirty = set(range(self.n_blocks))
+                self._notify_dirty(dirty)
         self.graph.clear_frontiers()
         report.elapsed_seconds = time.perf_counter() - start
         self.last_update = report
@@ -573,6 +670,16 @@ class QTaskSimulator(CircuitObserver):
         stores = [self._initial] + [s.store for s in self.graph.stages]
         return StoreChain(stores)
 
+    def state_reader(self):
+        """A block-resolving :class:`StateReader` over the final state.
+
+        The reader serves the state as of the last ``update_state`` call
+        through the COW block resolution (O(1) construction in directory
+        mode), which is how the observables engine reads amplitudes without
+        materialising the full vector.
+        """
+        return self._full_chain()
+
     def state(self) -> np.ndarray:
         """The full state vector after the last ``update_state`` call."""
         return self._full_chain().full_vector()
@@ -592,12 +699,71 @@ class QTaskSimulator(CircuitObserver):
         return float((a.conjugate() * a).real)
 
     def norm(self) -> float:
-        return float(np.sqrt(self.probabilities().sum()))
+        """The state's 2-norm, accumulated block-wise.
+
+        Uses the observables engine's per-block probability masses (cached
+        in its sampling tree and invalidated by the dirty frontier) instead
+        of materialising the full ``probabilities()`` array.
+        """
+        return float(math.sqrt(self.observables.total_probability()))
+
+    # -- observables --------------------------------------------------------
+
+    @property
+    def observables(self):
+        """The lazily created observables engine bound to this simulator.
+
+        One engine per simulator; its per-block caches subscribe to the
+        dirty-block notifications and therefore stay consistent across
+        incremental updates.  ``observable_cache=False`` disables caching.
+        """
+        if self._observables is None:
+            from ..observables.engine import ObservablesEngine
+
+            self._observables = ObservablesEngine(self, cache=self.observable_cache)
+        return self._observables
+
+    def expectation(self, observable) -> float:
+        """``<psi|H|psi>`` of a Hermitian Pauli observable, block-wise.
+
+        ``observable`` is a :class:`~repro.observables.PauliSum`,
+        :class:`~repro.observables.PauliString` or label string.
+        """
+        return self.observables.expectation(observable)
+
+    def sample(self, shots: int, *, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``shots`` basis-state samples from ``|psi|^2``."""
+        return self.observables.sample(shots, seed=seed)
+
+    def counts(self, shots: int, *, seed: Optional[int] = None) -> Dict[str, int]:
+        """Measurement histogram ``{bitstring: count}`` over ``shots`` draws."""
+        return self.observables.counts(shots, seed=seed)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome distribution of measuring a subset of qubits."""
+        return self.observables.marginal_probabilities(qubits)
 
     def memory_report(self) -> MemoryReport:
+        """Logical COW storage accounting across every stage store.
+
+        Returns a :class:`~repro.core.cow.MemoryReport` whose
+        ``allocated_bytes`` counts only the blocks stages actually
+        materialised, ``dense_bytes`` what one dense vector per stage would
+        cost, and ``savings_fraction`` the headroom between the two (the
+        §III.F.3 copy-on-write saving).
+        """
         return MemoryReport.from_stores(s.store for s in self.graph.stages)
 
     def statistics(self) -> Dict[str, object]:
+        """Counters describing the simulator's current incremental state.
+
+        Combines the partition-graph shape (``num_stages``, ``num_nodes``,
+        ``num_edges``, ``num_frontiers``) with the configuration knobs
+        (block size/workers/COW/fusion/directory/observable cache) and the
+        outcome of the most recent update (affected partitions, elapsed
+        seconds), so benchmark rows and debugging sessions can snapshot one
+        dict instead of poking internals.
+        """
         stats = self.graph.stats().as_dict()
         stats.update(
             {
@@ -608,6 +774,12 @@ class QTaskSimulator(CircuitObserver):
                 "block_directory": self.block_directory,
                 "fusion": self.fusion,
                 "num_fused_stages": self._num_fused,
+                "observable_cache": self.observable_cache,
+                "cached_observable_partials": (
+                    self._observables.cached_partials
+                    if self._observables is not None
+                    else 0
+                ),
                 "last_affected_partitions": self.last_update.affected_partitions,
                 "last_elapsed_seconds": self.last_update.elapsed_seconds,
             }

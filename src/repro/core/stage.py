@@ -183,6 +183,31 @@ class UnitaryStage(Stage):
 
         return self._run_tasks(make, block_range)
 
+    def retune(self, gate: Gate) -> bool:
+        """Rebind to a retuned gate when the partition layout is unchanged.
+
+        A parameter change (e.g. ``rz(theta)`` -> ``rz(theta')``) usually
+        keeps the classified action's sparsity structure, and with it the
+        partition layout, intact -- the stage (and its graph nodes) can then
+        be reused as-is and only needs re-execution.  Returns ``False`` when
+        the new parameters change the classification or the layout (identity
+        angles, permutation/superposition crossovers): the caller must then
+        rebuild the stage through the remove+insert path.
+        """
+        if tuple(gate.qubits) != self.qubits:
+            return False
+        action = gate.action()
+        if action.creates_superposition:
+            return False
+        specs = derive_partitions(
+            action, gate.qubits, self.qubit_count, self.block_size
+        )
+        if specs != self._specs:
+            return False
+        self.gate = gate
+        self._finalize_action(action, gate.qubits)
+        return True
+
 
 class FusedUnitaryStage(UnitaryStage):
     """A run of consecutive non-superposition gates fused into one action.
@@ -224,6 +249,34 @@ class FusedUnitaryStage(UnitaryStage):
 
     def gate_list(self) -> Tuple[Gate, ...]:
         return self.gates
+
+    def retune(self, gate: Gate) -> bool:  # pragma: no cover - guard
+        raise TypeError("retune a fused stage through recompose()")
+
+    def recompose(self, gates: Sequence[Gate]) -> bool:
+        """Re-fuse the member run in place after one member was retuned.
+
+        The composed action is rebuilt from the (updated) member gates; when
+        its union support and partition layout are unchanged the fused stage
+        keeps its identity and graph nodes.  Returns ``False`` when the new
+        composition changes either (e.g. a retune that cancels the run to
+        the identity), in which case the caller dissolves and rebuilds.
+        """
+        try:
+            action, qubits = fuse_gate_actions(gates)
+        except ValueError:
+            return False
+        if tuple(qubits) != self.qubits:
+            return False
+        specs = derive_partitions(
+            action, qubits, self.qubit_count, self.block_size
+        )
+        if specs != self._specs:
+            return False
+        self.gates = tuple(gates)
+        self.gate = self.gates[0]
+        self._finalize_action(action, qubits)
+        return True
 
 
 class MatVecStage(Stage):
@@ -269,6 +322,22 @@ class MatVecStage(Stage):
 
     def remove_gate(self, gate: Gate) -> None:
         self.gates.remove(gate)
+
+    def retune_gate(self, old: Gate, new: Gate) -> bool:
+        """Swap a retuned member in place (same qubits, new parameters).
+
+        The MxV partition layout -- one partition per data block behind a
+        sync barrier -- is independent of the member gates, so a retune
+        never restructures anything; the stage only needs re-execution.
+        """
+        if new.qubits != old.qubits:
+            return False
+        try:
+            i = self.gates.index(old)
+        except ValueError:
+            return False
+        self.gates[i] = new
+        return True
 
     @property
     def is_empty(self) -> bool:

@@ -21,7 +21,7 @@ UpdateReport(...)
 from __future__ import annotations
 
 import io
-from typing import List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from .core.circuit import Circuit, GateHandle, NetHandle
 from .core.cow import MemoryReport
 from .core.gates import Gate
 from .core.simulator import QTaskSimulator, UpdateReport
+from .observables.pauli import PauliLike
 from .parallel import Executor
 
 __all__ = ["QTask"]
@@ -49,6 +50,7 @@ class QTask:
         fusion: bool = False,
         max_fused_qubits: int = 4,
         block_directory: bool = True,
+        observable_cache: bool = True,
     ) -> None:
         self.circuit = Circuit(num_qubits)
         self.simulator = QTaskSimulator(
@@ -60,6 +62,7 @@ class QTask:
             fusion=fusion,
             max_fused_qubits=max_fused_qubits,
             block_directory=block_directory,
+            observable_cache=observable_cache,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -118,6 +121,21 @@ class QTask:
         """Remove a gate from its net and the circuit."""
         self.circuit.remove_gate(handle)
 
+    def update_gate(self, handle: GateHandle, *params: float) -> GateHandle:
+        """Retune an existing gate's parameters in place (retune modifier).
+
+        Unlike ``remove_gate`` + ``insert_gate``, the gate keeps its handle,
+        its stage and the partition-graph topology; the next
+        :meth:`update_state` re-simulates only the retuned stage's downstream
+        cone.  This is the natural modifier for variational parameter sweeps::
+
+            g = ckt.insert_gate("rz", net, q0, params=[0.1])
+            ckt.update_state()
+            ckt.update_gate(g, 0.2)      # same gate, new angle
+            ckt.update_state()           # incremental re-simulation
+        """
+        return self.circuit.update_gate(handle, *params)
+
     # -- state update -------------------------------------------------------------
 
     def update_state(self) -> UpdateReport:
@@ -150,10 +168,54 @@ class QTask:
     def probability(self, basis_state: int) -> float:
         return self.simulator.probability(basis_state)
 
+    def norm(self) -> float:
+        """The state's 2-norm, accumulated block-wise (never materialised)."""
+        return self.simulator.norm()
+
+    # -- observables & measurement --------------------------------------------
+
+    def expectation(self, observable: PauliLike) -> float:
+        """``<psi|H|psi>`` of a Hermitian Pauli observable.
+
+        ``observable`` is a :class:`~repro.observables.PauliSum`,
+        :class:`~repro.observables.PauliString` or a dense label string such
+        as ``"ZZI"``.  Evaluation is block-wise against the copy-on-write
+        stores with per-(term, block) caching invalidated by the incremental
+        update's dirty frontier -- repeated evaluations during a variational
+        sweep only recompute what the circuit edits actually changed.
+        """
+        return self.simulator.expectation(observable)
+
+    def sample(self, shots: int, *, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``shots`` measurement samples (basis-state indices)."""
+        return self.simulator.sample(shots, seed=seed)
+
+    def counts(self, shots: int, *, seed: Optional[int] = None) -> Dict[str, int]:
+        """Measurement histogram ``{bitstring: count}`` over ``shots`` draws."""
+        return self.simulator.counts(shots, seed=seed)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome distribution of measuring ``qubits`` (qubits[0] = bit 0)."""
+        return self.simulator.marginal_probabilities(qubits)
+
     def memory_report(self) -> MemoryReport:
+        """Logical copy-on-write storage accounting across all stage stores.
+
+        The returned :class:`~repro.core.cow.MemoryReport` compares the
+        blocks actually materialised (``allocated_bytes``, ``stored_blocks``)
+        with what dense per-stage vectors would cost (``dense_bytes``);
+        ``savings_fraction`` is the §III.F.3 copy-on-write saving.
+        """
         return self.simulator.memory_report()
 
     def statistics(self) -> dict:
+        """A flat dict snapshot of the simulator's incremental state.
+
+        Includes the partition-graph shape (stages/nodes/edges/frontiers),
+        every configuration knob (block size, workers, COW, fusion, block
+        directory, observable cache) and the last update's outcome -- the
+        record benchmarks and bug reports attach to a run.
+        """
         return self.simulator.statistics()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
