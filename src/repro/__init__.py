@@ -27,12 +27,15 @@ from .core.circuit import Circuit
 from .core.gates import Gate, gate_matrix
 from .core.simulator import QTaskSimulator, UpdateReport
 from .observables import PauliString, PauliSum
+from .parallel import SweepResult, SweepRunner
 from .qtask import QTask
 
 __version__ = "1.0.0"
 
 __all__ = [
     "QTask",
+    "SweepRunner",
+    "SweepResult",
     "QTaskSimulator",
     "UpdateReport",
     "Circuit",

@@ -15,7 +15,7 @@ Simulation itself lives in :mod:`repro.core.simulator` (qTask) and
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .exceptions import (
     CircuitError,
@@ -298,6 +298,30 @@ class Circuit:
         for obs in self._observers:
             obs.on_gate_updated(self, handle, old_gate)
         return handle
+
+    # -- structural copy (session forking) ------------------------------------
+
+    def clone(self) -> Tuple["Circuit", Dict[int, GateHandle], Dict[int, NetHandle]]:
+        """A structural copy with fresh handles and no observers.
+
+        Gates are immutable value objects and are shared by reference; the
+        nets and handles are new, so modifiers on the clone never touch this
+        circuit.  Returns ``(circuit, gate_map, net_map)`` where the maps key
+        the clone's handles by *this* circuit's handle uids -- the
+        translation table :meth:`repro.QTask.handle_for` serves on forked
+        sessions.
+        """
+        child = Circuit(
+            self.num_qubits, allow_net_dependencies=self.allow_net_dependencies
+        )
+        gate_map: Dict[int, GateHandle] = {}
+        net_map: Dict[int, NetHandle] = {}
+        for net in self._nets:
+            child_net = child.insert_net()
+            net_map[net.uid] = child_net
+            for handle in net.gates:
+                gate_map[handle.uid] = child.insert_gate(handle.gate, child_net)
+        return child, gate_map, net_map
 
     # -- bulk helpers ---------------------------------------------------------
 

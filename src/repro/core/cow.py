@@ -35,6 +35,17 @@ dtype conversion already produces owned memory), and both ``write_block`` and
 ``write_range`` accept ``copy=False`` for freshly allocated kernel outputs so
 publishing a computed run into the store is zero-copy (the store keeps views
 of the kernel's output array).
+
+Session forking extends the copy-on-write idea *across* simulators:
+:meth:`BlockStore.share_from` adopts every block of another store by
+reference (the arrays are marked read-only -- published blocks are immutable
+by contract, stores rebind rather than mutate).  The origin store refcounts
+each exported block (:attr:`BlockStore.exported_block_refs`), and the first
+write to an adopted block in the sharing store simply rebinds the dict entry
+to the freshly computed array and drops the reference -- copy-on-first-write
+with zero copies at fork time.  :class:`MemoryReport` splits the accounting
+into owned and shared bytes so a fleet of forked sessions can demonstrate
+sublinear memory growth.
 """
 
 from __future__ import annotations
@@ -79,6 +90,93 @@ class BlockStore:
         #: optional :class:`BlockDirectory` back-reference (see attach())
         self._directory: Optional["BlockDirectory"] = None
         self._dir_owner: Optional[object] = None
+        #: blocks adopted from another store (block id -> origin store);
+        #: rebinding such a block on first write releases the origin's ref
+        self._shared: Dict[int, "BlockStore"] = {}
+        #: per-block count of live references other stores hold to blocks
+        #: exported by :meth:`share_from` (mutated under ``_export_lock``:
+        #: forked sessions release refs from worker threads)
+        self._export_refs: Dict[int, int] = {}
+        self._export_lock = threading.Lock()
+
+    # -- cross-store sharing (session forking) ----------------------------
+
+    def share_from(self, other: "BlockStore") -> int:
+        """Adopt every block of ``other`` as a shared copy-on-write reference.
+
+        The arrays are shared, not copied: both stores reference the same
+        (read-only) memory until this store's first write to a block rebinds
+        its entry.  ``other`` refcounts each exported block so memory
+        attribution stays honest while forks diverge.  Returns the number of
+        blocks adopted.
+        """
+        if other.dim != self.dim or other.block_size != self.block_size:
+            raise ValueError(
+                "can only share blocks between stores of identical dim "
+                f"and block size, got ({other.dim}, {other.block_size}) "
+                f"vs ({self.dim}, {self.block_size})"
+            )
+        blocks = self._blocks
+        new_blocks: List[int] = []
+        shared_ids: List[int] = []
+        for b, arr in other._blocks.items():
+            # Published blocks are immutable by contract (kernels allocate
+            # fresh outputs and stores rebind); enforce it for shared memory.
+            arr.setflags(write=False)
+            if b not in blocks:
+                new_blocks.append(b)
+            self._release_shared(b)
+            blocks[b] = arr
+            self._shared[b] = other
+            shared_ids.append(b)
+        other._export_retain(shared_ids)
+        if new_blocks and self._directory is not None:
+            self._directory._on_write_many(self._dir_owner, new_blocks)
+        return len(shared_ids)
+
+    def _export_retain(self, blocks: Sequence[int]) -> None:
+        if not blocks:
+            return
+        with self._export_lock:
+            refs = self._export_refs
+            for b in blocks:
+                refs[b] = refs.get(b, 0) + 1
+
+    def _export_release(self, block: int) -> None:
+        with self._export_lock:
+            n = self._export_refs.get(block, 0) - 1
+            if n <= 0:
+                self._export_refs.pop(block, None)
+            else:
+                self._export_refs[block] = n
+
+    def _release_shared(self, block: int) -> None:
+        """Drop the shared marker of ``block`` (it is being rebound/removed)."""
+        if not self._shared:
+            return
+        origin = self._shared.pop(block, None)
+        if origin is not None:
+            origin._export_release(block)
+
+    @property
+    def shared_block_count(self) -> int:
+        """Blocks currently referencing another store's memory."""
+        return len(self._shared)
+
+    def shared_bytes(self) -> int:
+        """Bytes of :meth:`allocated_bytes` that are shared, not owned."""
+        blocks = self._blocks
+        return sum(blocks[b].nbytes for b in self._shared)
+
+    def exported_block_refs(self) -> Dict[int, int]:
+        """Live per-block reference counts held by sharing stores."""
+        with self._export_lock:
+            return dict(self._export_refs)
+
+    @property
+    def num_exported_blocks(self) -> int:
+        with self._export_lock:
+            return len(self._export_refs)
 
     # -- write side -------------------------------------------------------
 
@@ -103,6 +201,7 @@ class BlockStore:
             arr = arr.copy()
         blocks = self._blocks
         is_new = block not in blocks
+        self._release_shared(block)
         blocks[block] = arr
         if is_new and self._directory is not None:
             self._directory._on_write(self._dir_owner, block)
@@ -142,18 +241,23 @@ class BlockStore:
         for offset in range(0, n, size):
             if block not in blocks:
                 new_blocks.append(block)
+            self._release_shared(block)
             blocks[block] = arr[offset : offset + size]
             block += 1
         if new_blocks and self._directory is not None:
             self._directory._on_write_many(self._dir_owner, new_blocks)
 
     def drop_block(self, block: int) -> None:
-        if self._blocks.pop(block, None) is not None and self._directory is not None:
-            self._directory._on_drop(self._dir_owner, block)
+        if self._blocks.pop(block, None) is not None:
+            self._release_shared(block)
+            if self._directory is not None:
+                self._directory._on_drop(self._dir_owner, block)
 
     def clear(self) -> None:
         if self._directory is not None and self._blocks:
             self._directory._on_clear(self._dir_owner, tuple(self._blocks))
+        for b in tuple(self._shared):
+            self._release_shared(b)
         self._blocks.clear()
 
     # -- read side --------------------------------------------------------
@@ -383,6 +487,11 @@ class BlockDirectory:
         return lo
 
     def _insert_sorted(self, lst: List[object], owner) -> None:
+        # Fast path: owners usually arrive in seq order (stage execution,
+        # fork adoption), making the insert a plain append.
+        if not lst or lst[-1].seq < owner.seq:
+            lst.append(owner)
+            return
         lst.insert(self._bisect_seq(lst, owner.seq), owner)
 
     def _on_write(self, owner, block: int) -> None:
@@ -514,13 +623,27 @@ class DirectoryReader(_ResolvingReader):
 
 @dataclass(frozen=True)
 class MemoryReport:
-    """Logical memory accounting of a simulator's COW stores."""
+    """Logical memory accounting of a simulator's COW stores.
+
+    ``allocated_bytes`` counts every block the stores reference;
+    ``shared_bytes`` is the part referencing another session's memory
+    (blocks adopted by :meth:`BlockStore.share_from` and not yet rewritten),
+    so ``owned_bytes`` is the marginal footprint of this session -- the
+    number a fleet of forked sessions sums to show sublinear memory growth.
+    """
 
     num_stores: int
     stored_blocks: int
     total_blocks: int
     allocated_bytes: int
     dense_bytes: int
+    shared_blocks: int = 0
+    shared_bytes: int = 0
+
+    @property
+    def owned_bytes(self) -> int:
+        """Bytes owned outright (allocated minus shared-with-a-parent)."""
+        return self.allocated_bytes - self.shared_bytes
 
     @property
     def savings_fraction(self) -> float:
@@ -540,10 +663,14 @@ class MemoryReport:
         total = sum(s.n_blocks for s in stores)
         alloc = sum(s.allocated_bytes() for s in stores)
         dense = sum(s.dim * np.dtype(_DTYPE).itemsize for s in stores)
+        shared = sum(s.shared_block_count for s in stores)
+        shared_b = sum(s.shared_bytes() for s in stores)
         return MemoryReport(
             num_stores=len(stores),
             stored_blocks=stored,
             total_blocks=total,
             allocated_bytes=alloc,
             dense_bytes=dense,
+            shared_blocks=shared,
+            shared_bytes=shared_b,
         )

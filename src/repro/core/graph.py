@@ -329,6 +329,57 @@ class PartitionGraph:
                     c.preds.discard(a)
 
     # ------------------------------------------------------------------
+    # graph mirroring (session forking)
+    # ------------------------------------------------------------------
+
+    def mirror_from(self, other: "PartitionGraph",
+                    stage_map: Dict[int, Stage]) -> None:
+        """Clone another graph's stages, nodes and edges into this (empty) one.
+
+        ``stage_map`` maps the other graph's stage uids to the stages this
+        graph should hold (fresh clones with empty stores).  Connectivity is
+        copied verbatim in O(nodes + edges) instead of re-running the
+        insertion scans per stage (O(S) per partition), which is what makes
+        forking a deep circuit cheap.  Frontiers are *not* mirrored: a fork
+        inherits computed state, not pending work.
+        """
+        if self._stages:
+            raise ValueError("mirror_from requires an empty graph")
+        for stage in other._stages:
+            self._stages.append(stage_map[stage.uid])
+        self._reindex()
+        node_map: Dict[int, PartitionNode] = {}
+        for stage in other._stages:
+            clone_stage = stage_map[stage.uid]
+            if self._on_stage_inserted is not None:
+                self._on_stage_inserted(clone_stage)
+            nodes = []
+            for node in other._nodes_by_stage.get(stage.uid, []):
+                clone = PartitionNode(
+                    clone_stage,
+                    node.block_range,
+                    num_unit_tasks=node.num_unit_tasks,
+                    num_units=node.num_units,
+                )
+                node_map[node.uid] = clone
+                nodes.append(clone)
+            self._nodes_by_stage[clone_stage.uid] = nodes
+            sync = other._sync_by_stage.get(stage.uid)
+            if sync is not None:
+                clone = PartitionNode(clone_stage, sync.block_range, is_sync=True)
+                node_map[sync.uid] = clone
+                self._sync_by_stage[clone_stage.uid] = clone
+            else:
+                self._sync_by_stage[clone_stage.uid] = None
+            self._num_nodes += len(nodes) + (1 if sync is not None else 0)
+        for node in other.all_nodes():
+            clone = node_map[node.uid]
+            for succ in node.succs:
+                succ_clone = node_map[succ.uid]
+                clone.succs.add(succ_clone)
+                succ_clone.preds.add(clone)
+
+    # ------------------------------------------------------------------
     # stage removal
     # ------------------------------------------------------------------
 

@@ -131,6 +131,8 @@ class QTaskSimulator(CircuitObserver):
         self._net_uid_order: List[int] = []
 
         self.last_update: UpdateReport = UpdateReport()
+        #: completed ``update_state`` calls; with the frontier set this is
+        #: the state epoch fork fleets use to detect a diverged base session
         self._num_updates = 0
 
         #: cache per-(term, block) observable partials across updates; with
@@ -169,6 +171,118 @@ class QTaskSimulator(CircuitObserver):
             self._net_stages.setdefault(net.uid, [])
             for handle in net.gates:
                 self.on_gate_inserted(self.circuit, handle)
+
+    # ------------------------------------------------------------------
+    # session forking (copy-on-write children)
+    # ------------------------------------------------------------------
+
+    @property
+    def state_epoch(self) -> Tuple[int, bool]:
+        """``(completed updates, edits pending)`` -- the session's version.
+
+        Two observations of the same epoch with no pending edits are
+        guaranteed to describe the same simulated state; fork fleets compare
+        epochs to detect that their base session has diverged.
+        """
+        return self._num_updates, bool(self.graph.frontiers)
+
+    def fork(self, *, executor: Optional[Executor] = None) -> "QTaskSimulator":
+        """A child simulator sharing this one's computed state copy-on-write.
+
+        The child gets its own circuit (a structural clone with fresh
+        handles), its own stages, partition graph, block directory and
+        observables engine -- but every stage store *adopts* the parent
+        stage's blocks by reference (:meth:`BlockStore.share_from`), so
+        forking costs O(stages + stored blocks) bookkeeping and zero block
+        copies.  The first write a child update makes to a block rebinds the
+        child's entry, leaving the parent untouched; edits on either side
+        never perturb the other.
+
+        By default the child *shares the parent's executor* (``close()`` on
+        the child will not shut it down), which is what lets a
+        :class:`~repro.parallel.sweep.SweepRunner` fan many forked sessions
+        out across one work-stealing pool; pass ``executor`` to give the
+        child its own instead (a sweep typically hands each fork a
+        :class:`~repro.parallel.SequentialExecutor` so parallelism lives at
+        the sweep level, not nested inside each update).  Pending modifiers
+        on this simulator are flushed first so the forked state is well
+        defined; the child's gate-handle translation table is exposed as
+        ``forked_gate_map`` (parent handle uid -> child handle).
+        """
+        # The forked state is "the state after all issued modifiers".
+        if self.graph.frontiers or self._num_updates == 0:
+            self.update_state()
+        circuit, gate_map, net_map = self.circuit.clone()
+
+        child = QTaskSimulator.__new__(QTaskSimulator)
+        child.circuit = circuit
+        child.block_size = self.block_size
+        child.copy_on_write = self.copy_on_write
+        child.block_directory = self.block_directory
+        child.fusion = self.fusion
+        child.max_fused_qubits = self.max_fused_qubits
+        child.dim = self.dim
+        child.n_blocks = self.n_blocks
+        child._owns_executor = executor is not None
+        child.executor = executor if executor is not None else self.executor
+        child._initial = InitialStateStore(child.dim, child.block_size)
+        child._directory = BlockDirectory(child._initial)
+        child.graph = PartitionGraph(
+            BlockRange(0, child.n_blocks - 1),
+            on_stage_inserted=child._on_stage_entered,
+            on_stage_removed=child._on_stage_left,
+        )
+        child._net_stages = {net.uid: [] for net in circuit.nets()}
+        child._matvec = {}
+        child._gate_stage = {}
+        child._stage_handles = {}
+        child._stage_net = {}
+        child._num_fused = self._num_fused
+        child._net_index = None
+        child._net_uid_order = []
+        child.last_update = UpdateReport()
+        child._num_updates = self._num_updates
+        child.observable_cache = self.observable_cache
+        child._dirty_listeners = []
+        child._observables = None
+
+        # Mirror the parent's stages in its exact global order (the block
+        # directory's seq-based resolution depends on it) and clone the
+        # partition-graph topology verbatim -- O(nodes + edges), no
+        # insertion scans.
+        stage_map: Dict[int, Stage] = {}
+        for stage in self.graph.stages:
+            child_stage = stage.clone_for_fork()
+            stage_map[stage.uid] = child_stage
+            members = [gate_map[h.uid] for h in self._stage_handles[stage.uid]]
+            child._stage_handles[child_stage.uid] = members
+            for child_handle in members:
+                child._gate_stage[child_handle.uid] = child_stage
+            child._stage_net[child_stage.uid] = net_map[
+                self._stage_net[stage.uid]
+            ].uid
+        child.graph.mirror_from(self.graph, stage_map)
+        for net_uid, stages in self._net_stages.items():
+            child_net = net_map.get(net_uid)
+            if child_net is not None:
+                child._net_stages[child_net.uid] = [
+                    stage_map[s.uid] for s in stages
+                ]
+        for net_uid, stage in self._matvec.items():
+            child._matvec[net_map[net_uid].uid] = stage_map[stage.uid]
+
+        # Adopt the parent's computed blocks copy-on-write (zero copies);
+        # the attached directory learns the ownership via store callbacks.
+        for stage in self.graph.stages:
+            stage_map[stage.uid].store.share_from(stage.store)
+
+        # A warm observables cache is valid verbatim (identical state).
+        if self._observables is not None:
+            child._observables = self._observables.clone_for(child)
+
+        child.forked_gate_map = gate_map
+        circuit.register_observer(child)
+        return child
 
     # ------------------------------------------------------------------
     # partition-graph hooks: keep the block directory in sync

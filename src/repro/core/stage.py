@@ -100,6 +100,17 @@ class Stage:
     def prepare(self, reader: StateReader) -> None:
         """Hook executed once per update before the stage's block tasks."""
 
+    def clone_for_fork(self) -> "Stage":
+        """A fresh stage applying the same gates with an *empty* store.
+
+        Used by session forking: the clone keeps the gates, action and
+        partition layout (gates are immutable value objects, shared by
+        reference) but owns a brand-new :class:`~repro.core.cow.BlockStore`,
+        which the fork then populates via
+        :meth:`~repro.core.cow.BlockStore.share_from`.
+        """
+        raise NotImplementedError
+
     # -- helpers --------------------------------------------------------------
 
     def write_full(self, vector: np.ndarray) -> None:
@@ -169,6 +180,19 @@ class UnitaryStage(Stage):
     def total_block_count(self) -> int:
         """Total number of blocks over all partitions (net-ordering heuristic)."""
         return sum(len(s.block_range) for s in self._specs)
+
+    def clone_for_fork(self) -> "UnitaryStage":
+        # Bypass __init__: gate, classified action and partition layout are
+        # all immutable (stages rebind, never mutate them), so the clone
+        # shares them by reference instead of re-deriving -- forking a deep
+        # circuit must not re-run gate classification per stage.
+        clone = type(self).__new__(type(self))
+        Stage.__init__(clone, self.qubit_count, self.block_size, self.copy_on_write)
+        clone.gate = self.gate
+        clone.action = self.action
+        clone.qubits = self.qubits
+        clone._specs = self._specs
+        return clone
 
     def block_tasks(self, reader: StateReader, block_range: BlockRange):
         qubits = self.qubits
@@ -252,6 +276,11 @@ class FusedUnitaryStage(UnitaryStage):
 
     def retune(self, gate: Gate) -> bool:  # pragma: no cover - guard
         raise TypeError("retune a fused stage through recompose()")
+
+    def clone_for_fork(self) -> "FusedUnitaryStage":
+        clone = super().clone_for_fork()
+        clone.gates = self.gates
+        return clone
 
     def recompose(self, gates: Sequence[Gate]) -> bool:
         """Re-fuse the member run in place after one member was retuned.
@@ -342,6 +371,15 @@ class MatVecStage(Stage):
     @property
     def is_empty(self) -> bool:
         return not self.gates
+
+    def clone_for_fork(self) -> "MatVecStage":
+        return MatVecStage(
+            self.gates,
+            self.qubit_count,
+            self.block_size,
+            self.copy_on_write,
+            combine_limit=self.combine_limit,
+        )
 
     def combined_qubits(self) -> Tuple[int, ...]:
         out: List[int] = []

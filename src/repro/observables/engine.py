@@ -140,6 +140,25 @@ class ObservablesEngine:
         self._term_block_flip.clear()
         self._stale_blocks = set(range(self.n_blocks))
 
+    def clone_for(self, simulator) -> "ObservablesEngine":
+        """A new engine for ``simulator`` seeded with this engine's caches.
+
+        Used by session forking: at fork time the child's state is identical
+        to the parent's, so every cached (term, block) partial and per-block
+        probability mass is valid verbatim.  The clone is fully independent
+        afterwards -- it registers its own dirty listener on ``simulator``
+        and each side's edits invalidate only its own cache.
+        """
+        clone = ObservablesEngine(simulator, cache=self.cache)
+        if self.cache:
+            clone._term_partials = {
+                key: dict(partials) for key, partials in self._term_partials.items()
+            }
+            clone._term_block_flip = dict(self._term_block_flip)
+            clone._tree.build(self._tree.values())
+            clone._stale_blocks = set(self._stale_blocks)
+        return clone
+
     @property
     def cached_partials(self) -> int:
         """Number of live (term, block) cache entries (for statistics)."""

@@ -74,6 +74,10 @@ class PrefixSumTree:
     def value(self, index: int) -> float:
         return float(self._values[index])
 
+    def values(self) -> np.ndarray:
+        """A copy of the raw per-index values (for cloning/inspection)."""
+        return self._values.copy()
+
     def prefix_sum(self, count: int) -> float:
         """Sum of the first ``count`` values."""
         if not 0 <= count <= self.size:

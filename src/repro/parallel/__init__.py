@@ -25,6 +25,7 @@ lives (see DESIGN.md, "Substitutions").
 from .taskgraph import Task, TaskGraph
 from .executor import Executor, SequentialExecutor, WorkStealingExecutor, make_executor
 from .parallel_for import parallel_for, chunk_indices
+from .sweep import SweepPoint, SweepResult, SweepRunner
 
 __all__ = [
     "Task",
@@ -35,4 +36,7 @@ __all__ = [
     "make_executor",
     "parallel_for",
     "chunk_indices",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
 ]

@@ -7,17 +7,27 @@ subflows (dynamically spawned tasks joined back into their parent).  The
 :class:`SequentialExecutor` runs the same graphs deterministically on the
 calling thread and doubles as the one-core data point in the scalability
 experiments (Figs. 17/18).
+
+``run`` is re-entrant: every invocation carries its own :class:`_RunState`
+(pending counter plus dependency map), so independent graphs can execute
+concurrently on one shared worker pool -- the execution model behind
+session forking and :class:`~repro.parallel.sweep.SweepRunner`.  A ``run``
+issued *from a worker thread* (e.g. a forked session's ``update_state``
+inside a sweep task) does not block the pool: the worker keeps taking and
+executing queued work from any run until its own graph completes.
+
+Subflow children execute in spawn order on both executors (depth-first for
+nested spawns), so order-sensitive subflows observe the same schedule under
+``SequentialExecutor`` and a single-worker ``WorkStealingExecutor``.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.exceptions import ExecutorError
 from .taskgraph import Task, TaskGraph
 from .workqueue import StealScheduler
 
@@ -63,8 +73,10 @@ class SequentialExecutor(Executor):
         order = graph.topological_order()
         for task in order:
             sub = task.run()
-            # Subflow: run spawned callables immediately (depth-first join).
-            stack = list(sub or [])
+            # Subflow: run spawned callables depth-first, children of one
+            # spawn in spawn order (matching the work-stealing executor's
+            # single-worker schedule).
+            stack = list(reversed(sub or []))
             while stack:
                 fn = stack.pop()
                 result = fn()
@@ -73,22 +85,29 @@ class SequentialExecutor(Executor):
                 elif isinstance(result, (list, tuple)) and all(
                     callable(c) for c in result
                 ):
-                    stack.extend(result)
+                    stack.extend(reversed(result))
 
     def map(self, fn, items):
         return [fn(x) for x in items]
 
 
 class _RunState:
-    """Bookkeeping for one ``run`` invocation of the work-stealing executor."""
+    """Bookkeeping for one ``run`` invocation of the work-stealing executor.
 
-    __slots__ = ("pending", "lock", "done", "error")
+    Each ``run`` owns its state (pending counter *and* dependency map), so
+    any number of graphs can be in flight on the shared pool at once.
+    """
 
-    def __init__(self, total: int) -> None:
+    __slots__ = ("pending", "lock", "done", "error", "deps", "deps_lock")
+
+    def __init__(self, total: int, deps: Dict[int, int]) -> None:
         self.pending = total
         self.lock = threading.Lock()
         self.done = threading.Event()
         self.error: Optional[BaseException] = None
+        #: remaining-predecessor counters of this run's tasks (by task uid)
+        self.deps = deps
+        self.deps_lock = threading.Lock()
 
     def task_finished(self, count: int = 1) -> None:
         with self.lock:
@@ -110,16 +129,30 @@ class _RunState:
 class _Work:
     """A schedulable unit: either a graph task or a subflow callable."""
 
-    __slots__ = ("fn", "task", "parent")
+    __slots__ = ("fn", "task", "parent", "state")
 
-    def __init__(self, fn, task: Optional[Task] = None, parent: Optional["_Join"] = None):
+    def __init__(
+        self,
+        fn,
+        task: Optional[Task] = None,
+        parent: Optional["_Join"] = None,
+        state: Optional[_RunState] = None,
+    ):
         self.fn = fn
         self.task = task
         self.parent = parent
+        self.state = state
 
 
 class _Join:
-    """Join counter for a subflow: releases the parent task's successors."""
+    """Join counter for a subflow: releases the parent task's successors.
+
+    Every mutation of ``remaining`` happens under ``lock`` -- including
+    :meth:`add_children`, used when a child dynamically spawns more children
+    into the same join.  An unlocked increment can interleave with a
+    finishing sibling's locked decrement, either losing the increment (the
+    join never fires) or firing ``on_done`` before the new children ran.
+    """
 
     __slots__ = ("remaining", "lock", "on_done")
 
@@ -127,6 +160,11 @@ class _Join:
         self.remaining = remaining
         self.lock = threading.Lock()
         self.on_done = on_done
+
+    def add_children(self, count: int) -> None:
+        """Grow the join by ``count`` not-yet-finished children."""
+        with self.lock:
+            self.remaining += count
 
     def child_done(self) -> None:
         with self.lock:
@@ -146,7 +184,6 @@ class WorkStealingExecutor(Executor):
         self._scheduler: StealScheduler[_Work] = StealScheduler(self.num_workers)
         self._wakeup = threading.Condition()
         self._shutdown = False
-        self._state: Optional[_RunState] = None
         self._local = threading.local()
         self._threads: List[threading.Thread] = []
         for i in range(self.num_workers):
@@ -160,6 +197,7 @@ class WorkStealingExecutor(Executor):
     def _worker_loop(self, worker_id: int) -> None:
         self._local.worker_id = worker_id
         rng = [worker_id * 2654435761 + 1]
+        self._local.rng = rng
         while True:
             work = self._scheduler.take(worker_id, rng)
             if work is None:
@@ -179,7 +217,7 @@ class WorkStealingExecutor(Executor):
             self._wakeup.notify()
 
     def _execute(self, work: _Work, worker_id: int) -> None:
-        state = self._state
+        state = work.state
         try:
             if work.task is not None:
                 sub = work.task.run()
@@ -195,12 +233,17 @@ class WorkStealingExecutor(Executor):
                 elif isinstance(result, (list, tuple)) and all(callable(c) for c in result):
                     extra = list(result)
                 if extra and work.parent is not None:
-                    # nested subflow: children join the same parent
-                    work.parent.remaining += len(extra)
+                    # Nested subflow: the children join the same parent.  The
+                    # increment must hold the join lock -- a finishing sibling
+                    # decrements concurrently (see _Join.add_children).
+                    work.parent.add_children(len(extra))
                     if state:
                         state.task_added(len(extra))
-                    for fn in extra:
-                        self._submit(_Work(fn, parent=work.parent), worker_id)
+                    # Reversed submission + LIFO owner pop = spawn order.
+                    for fn in reversed(extra):
+                        self._submit(
+                            _Work(fn, parent=work.parent, state=state), worker_id
+                        )
                 if work.parent is not None:
                     work.parent.child_done()
         except BaseException as exc:  # propagate to the waiting run() caller
@@ -210,26 +253,31 @@ class WorkStealingExecutor(Executor):
         if state is not None:
             state.task_finished()
 
-    def _spawn_subflow(self, task: Task, children: List[Callable], state, worker_id: int) -> None:
+    def _spawn_subflow(self, task: Task, children: List[Callable],
+                       state: Optional[_RunState], worker_id: int) -> None:
         if state:
             state.task_added(len(children))
         join = _Join(len(children), lambda: self._release_successors(task, state, worker_id))
         if len(children) == 1:
             # Batched block-run bodies usually hand back a single fat child;
             # run it inline on this worker instead of a queue round-trip.
-            self._execute(_Work(children[0], parent=join), worker_id)
+            self._execute(_Work(children[0], parent=join, state=state), worker_id)
             return
-        for fn in children:
-            self._submit(_Work(fn, parent=join), worker_id)
+        # Reversed submission + LIFO owner pop = spawn order on one worker.
+        for fn in reversed(children):
+            self._submit(_Work(fn, parent=join, state=state), worker_id)
 
-    def _release_successors(self, task: Task, state, worker_id: int) -> None:
-        run_deps: Dict[int, int] = self._run_deps
+    def _release_successors(self, task: Task, state: Optional[_RunState],
+                            worker_id: int) -> None:
+        if state is None:
+            return
+        deps = state.deps
         for succ in task.successors:
-            with self._deps_lock:
-                run_deps[succ.uid] -= 1
-                ready = run_deps[succ.uid] == 0
+            with state.deps_lock:
+                deps[succ.uid] -= 1
+                ready = deps[succ.uid] == 0
             if ready:
-                self._submit(_Work(None, task=succ), worker_id)
+                self._submit(_Work(None, task=succ, state=state), worker_id)
 
     # -- public API ----------------------------------------------------------
 
@@ -238,21 +286,39 @@ class WorkStealingExecutor(Executor):
         tasks = graph.tasks
         if not tasks:
             return
-        if self._state is not None:
-            raise ExecutorError("executor already running a graph (not reentrant)")
-        self._run_deps = {t.uid: len(t.predecessors) for t in tasks}
-        self._deps_lock = threading.Lock()
-        state = _RunState(len(tasks))
-        self._state = state
-        try:
-            roots = [t for t in tasks if not t.predecessors]
-            for i, t in enumerate(roots):
-                self._submit(_Work(None, task=t), i % self.num_workers)
+        deps = {t.uid: len(t.predecessors) for t in tasks}
+        state = _RunState(len(tasks), deps)
+        roots = [t for t in tasks if not t.predecessors]
+        for i, t in enumerate(roots):
+            self._submit(_Work(None, task=t, state=state), i % self.num_workers)
+        self._wait(state)
+        if state.error is not None:
+            raise state.error
+
+    def _wait(self, state: _RunState) -> None:
+        """Block until ``state`` completes.
+
+        An external thread parks on the event.  A *worker* thread instead
+        keeps executing queued work -- its own run's or any other's -- so a
+        nested ``run`` (a forked session updating inside a sweep task) makes
+        progress instead of deadlocking the pool.
+        """
+        worker_id = getattr(self._local, "worker_id", None)
+        if worker_id is None:
             state.done.wait()
-            if state.error is not None:
-                raise state.error
-        finally:
-            self._state = None
+            return
+        rng = self._local.rng
+        idle_wait = self._spin_sleep
+        while not state.done.is_set():
+            work = self._scheduler.take(worker_id, rng)
+            if work is None:
+                # Exponential backoff: on oversubscribed hosts a tight
+                # take/wait spin starves the workers doing real work.
+                state.done.wait(timeout=idle_wait)
+                idle_wait = min(idle_wait * 2.0, 0.005)
+            else:
+                idle_wait = self._spin_sleep
+                self._execute(work, worker_id)
 
     def map(self, fn, items):
         items = list(items)

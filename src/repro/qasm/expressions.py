@@ -60,12 +60,11 @@ def evaluate_expression(text: str, variables: Optional[Mapping[str, float]] = No
     for name in list(variables):
         if keyword.iskeyword(name):
             safe = f"_{name}_"
-            source = _re.sub(rf"\b{name}\b", safe, source)
+            source = _re.sub(rf"\b{_re.escape(name)}\b", safe, source)
             variables[safe] = variables.pop(name)
+    # An *unbound* keyword identifier would be an ast-level SyntaxError;
+    # rename it too so it fails with the clearer unknown-identifier error.
     source = _re.sub(r"\blambda\b", "_lambda_", source)
-    if "_lambda_" in source and "_lambda_" not in variables and "lambda" not in variables:
-        # bare ``lambda`` with no binding: leave it to the unknown-identifier error
-        pass
     if not source:
         raise QasmSyntaxError("empty parameter expression")
     try:
@@ -81,11 +80,12 @@ def evaluate_expression(text: str, variables: Optional[Mapping[str, float]] = No
                 return float(node.value)
             raise QasmSyntaxError(f"invalid literal {node.value!r} in {text!r}")
         if isinstance(node, ast.Name):
-            key = node.id.lower()
             if node.id in variables:
                 return float(variables[node.id])
-            if key in _CONSTANTS:
-                return _CONSTANTS[key]
+            # Case-exact: OpenQASM identifiers are case-sensitive, so an
+            # unbound ``PI`` is an error, not a sloppy alias for ``pi``.
+            if node.id in _CONSTANTS:
+                return _CONSTANTS[node.id]
             raise QasmSyntaxError(f"unknown identifier {node.id!r} in {text!r}")
         if isinstance(node, ast.BinOp):
             op = _BINOPS.get(type(node.op))

@@ -28,6 +28,7 @@ import numpy as np
 from .core.blocks import DEFAULT_BLOCK_SIZE
 from .core.circuit import Circuit, GateHandle, NetHandle
 from .core.cow import MemoryReport
+from .core.exceptions import CircuitError, StaleHandleError
 from .core.gates import Gate
 from .core.simulator import QTaskSimulator, UpdateReport
 from .observables.pauli import PauliLike
@@ -64,8 +65,61 @@ class QTask:
             block_directory=block_directory,
             observable_cache=observable_cache,
         )
+        #: parent handle uid -> this session's handle (forked sessions only)
+        self._fork_gate_map: Optional[Dict[int, GateHandle]] = None
 
     # -- lifecycle ----------------------------------------------------------
+
+    def fork(self, *, executor: Optional[Executor] = None) -> "QTask":
+        """A cheap child session sharing this session's state copy-on-write.
+
+        The child has its own circuit (fresh handles), simulator, block
+        directory and observables cache, but its stage stores reference the
+        parent's computed blocks until first write -- forking copies no
+        amplitudes.  Edits on either session never perturb the other, and
+        both run on the *shared* executor by default, so many forks can
+        update concurrently (see :class:`~repro.parallel.sweep.SweepRunner`);
+        pass ``executor`` to give the child its own (e.g. a
+        :class:`~repro.parallel.SequentialExecutor` when the parallelism
+        lives one level up, across forks).
+
+        Translate parent gate handles with :meth:`handle_for`::
+
+            g = ckt.insert_gate("rz", net, q0, params=[0.1])
+            ckt.update_state()
+            child = ckt.fork()
+            child.update_gate(child.handle_for(g), 0.7)
+            child.update_state()          # incremental, parent untouched
+
+        Pending modifiers on this session are flushed (``update_state``)
+        before forking so the inherited state is well defined.
+        """
+        child = QTask.__new__(QTask)
+        child.simulator = self.simulator.fork(executor=executor)
+        child.circuit = child.simulator.circuit
+        child._fork_gate_map = child.simulator.forked_gate_map
+        return child
+
+    @property
+    def is_fork(self) -> bool:
+        """True when this session was created by :meth:`fork`."""
+        return self._fork_gate_map is not None
+
+    def handle_for(self, parent_handle: GateHandle) -> GateHandle:
+        """This forked session's gate handle mirroring a parent's handle.
+
+        Only gates that existed at fork time have a mirror; handles inserted
+        into the parent afterwards (or into a non-forked session) raise.
+        """
+        if self._fork_gate_map is None:
+            raise CircuitError("handle_for() is only available on forked sessions")
+        mapped = self._fork_gate_map.get(parent_handle.uid)
+        if mapped is None:
+            raise StaleHandleError(
+                f"gate handle {parent_handle!r} has no counterpart in this fork "
+                "(inserted after the fork?)"
+            )
+        return mapped
 
     def close(self) -> None:
         self.simulator.close()

@@ -228,3 +228,86 @@ def test_memory_report_empty():
     report = MemoryReport.from_stores([])
     assert report.allocated_bytes == 0
     assert report.savings_fraction == 0.0
+
+
+# ---------------------------------------------------------------------------
+# cross-store sharing (session forking)
+# ---------------------------------------------------------------------------
+
+
+def test_share_from_adopts_blocks_by_reference():
+    parent = BlockStore(32, 4)
+    parent.write_block(0, np.full(4, 1.0, dtype=complex))
+    parent.write_block(3, np.full(4, 2.0, dtype=complex))
+    child = BlockStore(32, 4)
+    adopted = child.share_from(parent)
+    assert adopted == 2
+    assert child.stored_blocks() == (0, 3)
+    assert child.get_block(0) is parent.get_block(0)  # same memory
+    assert child.shared_block_count == 2
+    assert child.shared_bytes() == child.allocated_bytes()
+    assert parent.exported_block_refs() == {0: 1, 3: 1}
+    # adopted blocks are sealed read-only (published blocks are immutable)
+    with pytest.raises(ValueError):
+        child.get_block(0)[0] = 9.0
+
+
+def test_share_from_copy_on_first_write_releases_refs():
+    parent = BlockStore(32, 4)
+    for b in range(3):
+        parent.write_block(b, np.full(4, b + 1.0, dtype=complex))
+    child = BlockStore(32, 4)
+    child.share_from(parent)
+    child.write_block(1, np.full(4, -1.0, dtype=complex))
+    # the child rebound its entry; the parent's block is untouched
+    np.testing.assert_allclose(parent.get_block(1), np.full(4, 2.0))
+    np.testing.assert_allclose(child.get_block(1), np.full(4, -1.0))
+    assert child.get_block(1) is not parent.get_block(1)
+    assert child.shared_block_count == 2
+    assert parent.exported_block_refs() == {0: 1, 2: 1}
+    # drop and clear release the remaining refs
+    child.drop_block(0)
+    assert parent.exported_block_refs() == {2: 1}
+    child.clear()
+    assert parent.exported_block_refs() == {}
+    assert parent.num_exported_blocks == 0
+
+
+def test_share_from_multiple_children_refcounts():
+    parent = BlockStore(16, 4)
+    parent.write_block(2, np.full(4, 5.0, dtype=complex))
+    children = [BlockStore(16, 4) for _ in range(3)]
+    for c in children:
+        c.share_from(parent)
+    assert parent.exported_block_refs() == {2: 3}
+    children[0].write_block(2, np.zeros(4, dtype=complex))
+    assert parent.exported_block_refs() == {2: 2}
+    # chained sharing: a grandchild refs the child, not the grandparent
+    grandchild = BlockStore(16, 4)
+    grandchild.share_from(children[1])
+    assert children[1].exported_block_refs() == {2: 1}
+    assert parent.exported_block_refs() == {2: 2}
+
+
+def test_share_from_rejects_mismatched_geometry():
+    a = BlockStore(32, 4)
+    b = BlockStore(32, 8)
+    with pytest.raises(ValueError, match="identical dim"):
+        b.share_from(a)
+
+
+def test_memory_report_accounts_shared_bytes():
+    parent = BlockStore(32, 4)
+    parent.write_block(0, np.zeros(4, dtype=complex))
+    parent.write_block(1, np.zeros(4, dtype=complex))
+    child = BlockStore(32, 4)
+    child.share_from(parent)
+    child.write_block(2, np.zeros(4, dtype=complex))  # owned outright
+    report = MemoryReport.from_stores([child])
+    assert report.stored_blocks == 3
+    assert report.shared_blocks == 2
+    assert report.shared_bytes == 2 * 64
+    assert report.owned_bytes == 64
+    both = MemoryReport.from_stores([parent, child])
+    assert both.allocated_bytes == 5 * 64
+    assert both.owned_bytes == 3 * 64  # de-duplicated fleet footprint

@@ -1,0 +1,324 @@
+"""High-contention and determinism tests for the executors.
+
+These tests pin down two subtle executor behaviours:
+
+* the subflow join counter must tolerate *nested* spawns racing finishing
+  siblings (the ``_Join.add_children`` lock -- an unlocked ``remaining +=``
+  either loses the increment, hanging the join, or lets ``on_done`` fire
+  before the new children ran);
+* spawned subflow children execute in spawn order on both executors, so
+  order-sensitive subflows cannot diverge between ``SequentialExecutor``
+  and a single-worker ``WorkStealingExecutor``;
+* ``run`` is re-entrant: nested runs issued from worker threads and
+  concurrent runs from external threads both complete (the execution model
+  behind forked-session sweeps).
+
+CI runs this module with ``num_workers >= 4`` (the stress tests hard-code a
+4-worker pool) so the join race cannot silently regress.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.parallel import (
+    SequentialExecutor,
+    TaskGraph,
+    WorkStealingExecutor,
+)
+
+STRESS_WORKERS = 4  # keep >= 4: the join race needs real contention
+
+
+# ---------------------------------------------------------------------------
+# nested-subflow join race
+# ---------------------------------------------------------------------------
+
+
+def _nested_subflow_graph(num_children, num_grandchildren, counter, observed):
+    """One parent spawning children that each spawn nested grandchildren.
+
+    Every child/grandchild bumps ``counter``; the parent's successor
+    records the count it observes.  The join must not release the
+    successor until every (grand)child ran.
+    """
+    lock = threading.Lock()
+
+    def bump():
+        with lock:
+            counter[0] += 1
+
+    def make_grandchild():
+        def grandchild():
+            bump()
+        return grandchild
+
+    def make_child():
+        def child():
+            bump()
+            # Nested spawn: these join the *same* parent join counter,
+            # racing the locked decrements of finishing siblings.
+            return [make_grandchild() for _ in range(num_grandchildren)]
+        return child
+
+    def parent():
+        return [make_child() for _ in range(num_children)]
+
+    graph = TaskGraph("nested-stress")
+    p = graph.emplace(parent, "parent")
+    succ = graph.emplace(lambda: observed.append(counter[0]), "after-join")
+    p.precede(succ)
+    return graph
+
+
+def test_nested_subflow_join_survives_high_contention():
+    """A racy join increment loses children (hang) or fires early."""
+    num_children, num_grandchildren, rounds = 24, 4, 25
+    expected = num_children * (1 + num_grandchildren)
+    ex = WorkStealingExecutor(STRESS_WORKERS)
+    old_interval = sys.getswitchinterval()
+    # Force thread switches at nearly every bytecode so the unlocked
+    # read-modify-write window is actually hit.
+    sys.setswitchinterval(1e-6)
+    try:
+        for round_no in range(rounds):
+            counter = [0]
+            observed = []
+            graph = _nested_subflow_graph(
+                num_children, num_grandchildren, counter, observed
+            )
+            runner = threading.Thread(target=ex.run, args=(graph,), daemon=True)
+            runner.start()
+            runner.join(timeout=60.0)
+            assert not runner.is_alive(), (
+                f"round {round_no}: run() hung -- the subflow join lost an "
+                "increment under contention"
+            )
+            assert observed == [expected], (
+                f"round {round_no}: successor released after "
+                f"{observed} of {expected} children -- join fired early"
+            )
+            assert counter[0] == expected
+    finally:
+        sys.setswitchinterval(old_interval)
+        ex.close()
+
+
+def test_join_counter_mutations_always_hold_the_lock(monkeypatch):
+    """Every mutation of a join's ``remaining`` must hold ``_Join.lock``.
+
+    The historical bug -- ``work.parent.remaining += len(extra)`` without
+    the lock -- is only *observably* racy on interpreters that preempt
+    between the attribute load and store (CPython <= 3.10 and free-threaded
+    builds; 3.11+ never checks the eval breaker around C calls, making the
+    faulty line coincidentally quasi-atomic).  This white-box check fails
+    deterministically on any unlocked mutation, independent of scheduler
+    luck: it swaps in an instrumented ``_Join`` whose counter records
+    whether the current thread held the lock at every write.
+    """
+    from repro.parallel import executor as executor_mod
+
+    violations = []
+
+    class TrackingLock:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._owner = None
+
+        def __enter__(self):
+            self._lock.acquire()
+            self._owner = threading.get_ident()
+            return self
+
+        def __exit__(self, *exc):
+            self._owner = None
+            self._lock.release()
+
+        def held_by_me(self):
+            return self._owner == threading.get_ident()
+
+    class InstrumentedJoin(executor_mod._Join):
+        __slots__ = ("_rem",)
+
+        def __init__(self, remaining, on_done):
+            self.lock = TrackingLock()
+            self._rem = remaining
+            self.on_done = on_done
+
+        @property
+        def remaining(self):
+            return self._rem
+
+        @remaining.setter
+        def remaining(self, value):
+            if not self.lock.held_by_me():
+                violations.append(value)
+            self._rem = value
+
+    monkeypatch.setattr(executor_mod, "_Join", InstrumentedJoin)
+
+    counter = [0]
+    observed = []
+    graph = _nested_subflow_graph(8, 3, counter, observed)
+    ex = WorkStealingExecutor(STRESS_WORKERS)
+    try:
+        ex.run(graph)
+    finally:
+        ex.close()
+    assert observed == [8 * 4]
+    assert not violations, (
+        f"{len(violations)} join-counter mutation(s) happened without "
+        "holding _Join.lock"
+    )
+
+
+def test_deeply_nested_subflows_join_once():
+    """Chains of nested spawns all fold into one parent join."""
+    depth, width = 5, 3
+    counter = [0]
+    lock = threading.Lock()
+
+    def make(level):
+        def body():
+            with lock:
+                counter[0] += 1
+            if level < depth:
+                return [make(level + 1) for _ in range(1 if level else width)]
+        return body
+
+    order = []
+    graph = TaskGraph()
+    p = graph.emplace(make(0), "root")
+    succ = graph.emplace(lambda: order.append(counter[0]), "after")
+    p.precede(succ)
+    ex = WorkStealingExecutor(STRESS_WORKERS)
+    try:
+        ex.run(graph)
+    finally:
+        ex.close()
+    expected = 1 + width * depth
+    assert order == [expected]
+
+
+# ---------------------------------------------------------------------------
+# spawn-order determinism
+# ---------------------------------------------------------------------------
+
+
+def _order_graph(log):
+    def make_grandchild(tag):
+        def grandchild():
+            log.append(tag)
+        return grandchild
+
+    def make_child(i):
+        def child():
+            log.append(f"c{i}")
+            return [make_grandchild(f"c{i}.g{j}") for j in range(2)]
+        return child
+
+    def parent():
+        log.append("p")
+        return [make_child(i) for i in range(4)]
+
+    graph = TaskGraph("order")
+    graph.emplace(parent, "parent")
+    return graph
+
+
+EXPECTED_ORDER = ["p"] + [
+    item for i in range(4) for item in (f"c{i}", f"c{i}.g0", f"c{i}.g1")
+]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [SequentialExecutor, lambda: WorkStealingExecutor(1)],
+    ids=["sequential", "work-stealing-1"],
+)
+def test_subflow_children_run_in_spawn_order(factory):
+    """Children (and nested children) execute depth-first in spawn order."""
+    log = []
+    ex = factory()
+    try:
+        ex.run(_order_graph(log))
+    finally:
+        ex.close()
+    assert log == EXPECTED_ORDER
+
+
+def test_sequential_and_single_worker_observe_identical_order():
+    """The determinism contract: both executors see one child schedule."""
+    seq_log, ws_log = [], []
+    SequentialExecutor().run(_order_graph(seq_log))
+    ex = WorkStealingExecutor(1)
+    try:
+        ex.run(_order_graph(ws_log))
+    finally:
+        ex.close()
+    assert seq_log == ws_log == EXPECTED_ORDER
+
+
+# ---------------------------------------------------------------------------
+# re-entrant / concurrent runs (the forked-session execution model)
+# ---------------------------------------------------------------------------
+
+
+def test_nested_run_from_worker_threads():
+    """map inside map: a worker issuing run() helps instead of blocking."""
+    ex = WorkStealingExecutor(STRESS_WORKERS)
+    try:
+        def outer(x):
+            return sum(ex.map(lambda y: y + x, range(6)))
+
+        out = ex.map(outer, range(12))
+    finally:
+        ex.close()
+    assert out == [sum(y + x for y in range(6)) for x in range(12)]
+
+
+def test_nested_run_propagates_exceptions():
+    ex = WorkStealingExecutor(2)
+
+    def outer(x):
+        def inner(y):
+            if y == 3:
+                raise RuntimeError("inner boom")
+            return y
+
+        return ex.map(inner, range(5))
+
+    try:
+        with pytest.raises(RuntimeError, match="inner boom"):
+            ex.map(outer, range(4))
+    finally:
+        ex.close()
+
+
+def test_concurrent_runs_from_external_threads():
+    """Independent graphs share one pool without interference."""
+    ex = WorkStealingExecutor(STRESS_WORKERS)
+    results = {}
+    errors = []
+
+    def run_one(k):
+        try:
+            results[k] = ex.map(lambda x, k=k: x * k, range(50))
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=run_one, args=(k,)) for k in range(1, 6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+    finally:
+        ex.close()
+    assert not errors
+    for k in range(1, 6):
+        assert results[k] == [x * k for x in range(50)]

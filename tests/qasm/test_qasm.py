@@ -50,6 +50,38 @@ def test_expression_rejects_invalid(text):
         evaluate_expression(text)
 
 
+def test_expression_keyword_parameter_names():
+    """Python-keyword formals (``lambda`` is ubiquitous in qelib1.inc) work."""
+    assert evaluate_expression("lambda/2", {"lambda": 3.0}) == pytest.approx(1.5)
+    assert evaluate_expression(
+        "lambda + 2*lambda", {"lambda": 0.5}
+    ) == pytest.approx(1.5)
+    # substitution is whole-word: 'lambda2' is a different (unknown) name
+    with pytest.raises(QasmSyntaxError, match="unknown identifier"):
+        evaluate_expression("lambda2", {"lambda": 1.0})
+    # other keywords too, and mixed with ordinary names
+    assert evaluate_expression(
+        "if*2 + theta", {"if": 2.0, "theta": 1.0}
+    ) == pytest.approx(5.0)
+
+
+def test_expression_unbound_keyword_is_an_error():
+    with pytest.raises(QasmSyntaxError):
+        evaluate_expression("lambda/2")
+
+
+def test_expression_constants_are_case_exact():
+    """OpenQASM identifiers are case-sensitive: unbound ``PI`` must raise."""
+    for bad in ("PI", "Pi", "E", "TAU", "Tau"):
+        with pytest.raises(QasmSyntaxError, match="unknown identifier"):
+            evaluate_expression(bad)
+    # exact-case constants still resolve, and variables shadow nothing
+    assert evaluate_expression("tau") == pytest.approx(2 * math.pi)
+    assert evaluate_expression("e") == pytest.approx(math.e)
+    # an explicitly *bound* upper-case name is a variable, not a constant
+    assert evaluate_expression("PI", {"PI": 3.0}) == pytest.approx(3.0)
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -106,6 +138,28 @@ def test_parse_user_gate_definition_expands():
     assert [g.name for g in prog.gates] == ["rz", "cx", "rz"]
     assert prog.gates[0].params[0] == pytest.approx(math.pi / 2)
     assert prog.gates[1].qubits == (0, 1)
+
+
+def test_parse_user_gate_with_lambda_formal_roundtrips():
+    """A user gate whose formal is the Python keyword ``lambda`` must work."""
+    src = """
+    qreg q[2];
+    gate twist(lambda, theta) a, b { rz(lambda) a; cx a,b; rx(theta+lambda) b; }
+    twist(pi/2, 0.25) q[0], q[1];
+    """
+    prog = parse_qasm(src)
+    assert [g.name for g in prog.gates] == ["rz", "cx", "rx"]
+    assert prog.gates[0].params[0] == pytest.approx(math.pi / 2)
+    assert prog.gates[2].params[0] == pytest.approx(0.25 + math.pi / 2)
+    # full round-trip: write the expanded program back out and re-parse it
+    levels = levelize(prog.gates)
+    text = to_qasm(levels, num_qubits=prog.num_qubits)
+    reparsed = parse_qasm(text)
+    assert_states_close(
+        reference_state(2, levelize(reparsed.gates)),
+        reference_state(2, levels),
+        atol=1e-12,
+    )
 
 
 def test_parse_builtin_macro_cu3_matches_unitary():

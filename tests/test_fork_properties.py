@@ -1,0 +1,343 @@
+"""Property tests for session forking (copy-on-write children).
+
+The fork invariants:
+
+* a fresh fork's state, expectations and samples are identical to the
+  parent's, with zero amplitude copies (all blocks shared);
+* edits on the child never perturb the parent, and edits on the parent
+  never perturb the child -- in both directions, to machine precision;
+* ``fork + retune`` equals a fresh build of the edited circuit to 1e-10,
+  with fusion and the block directory independently on and off;
+* ``memory_report()`` shows forked sessions *sharing* blocks: a fleet of
+  forks owns (almost) nothing beyond the parent until it diverges, i.e.
+  memory grows sublinearly in the number of forks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import QTask
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.simulator import QTaskSimulator
+from repro.observables import dense_expectation
+
+from .conftest import circuit_levels, reference_state
+
+COMMON_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: (fusion, block_directory) corners exercised for fork equivalence.
+CONFIGS = [
+    (False, True),
+    (True, True),
+    (False, False),
+    (True, False),
+]
+
+N_QUBITS = 5
+OBSERVABLE = "ZZ" + "I" * (N_QUBITS - 2)
+
+
+def _build_workload(session):
+    """An H layer, an entangling layer and two retunable rotation layers."""
+    n = session.num_qubits
+    net_h = session.insert_net()
+    for q in range(n):
+        session.insert_gate("h", net_h, q)
+    net_cx = session.insert_net()
+    for q in range(0, n - 1, 2):
+        session.insert_gate("cx", net_cx, q, q + 1)
+    net_rz = session.insert_net()
+    rz_handles = [
+        session.insert_gate("rz", net_rz, q, params=[0.3 + 0.1 * q])
+        for q in range(n)
+    ]
+    net_rx = session.insert_net()
+    rx_handles = [
+        session.insert_gate("rx", net_rx, q, params=[0.8 - 0.05 * q])
+        for q in range(n)
+    ]
+    return rz_handles, rx_handles
+
+
+@pytest.mark.parametrize("fusion,block_directory", CONFIGS)
+def test_fresh_fork_matches_parent_exactly(fusion, block_directory):
+    with QTask(N_QUBITS, num_workers=1, fusion=fusion,
+               block_directory=block_directory) as parent:
+        _build_workload(parent)
+        parent.update_state()
+        parent_state = parent.state()
+        child = parent.fork()
+        try:
+            assert child.is_fork and not parent.is_fork
+            np.testing.assert_allclose(child.state(), parent_state, atol=1e-14)
+            assert child.expectation(OBSERVABLE) == pytest.approx(
+                parent.expectation(OBSERVABLE), abs=1e-12
+            )
+            np.testing.assert_array_equal(
+                child.sample(64, seed=7), parent.sample(64, seed=7)
+            )
+        finally:
+            child.close()
+
+
+@pytest.mark.parametrize("fusion,block_directory", CONFIGS)
+def test_fork_retune_equals_fresh_build(fusion, block_directory):
+    """fork + update_gate == building the edited circuit from scratch."""
+    with QTask(N_QUBITS, num_workers=1, fusion=fusion,
+               block_directory=block_directory) as parent:
+        rz_handles, rx_handles = _build_workload(parent)
+        parent.update_state()
+        child = parent.fork()
+        try:
+            for i, h in enumerate(rz_handles):
+                child.update_gate(child.handle_for(h), 1.1 + 0.2 * i)
+            for i, h in enumerate(rx_handles):
+                child.update_gate(child.handle_for(h), 0.25 + 0.1 * i)
+            report = child.update_state()
+            assert report.was_incremental
+
+            with QTask(N_QUBITS, num_workers=1, fusion=fusion,
+                       block_directory=block_directory) as fresh:
+                rz2, rx2 = _build_workload(fresh)
+                for i, h in enumerate(rz2):
+                    fresh.update_gate(h, 1.1 + 0.2 * i)
+                for i, h in enumerate(rx2):
+                    fresh.update_gate(h, 0.25 + 0.1 * i)
+                fresh.update_state()
+                np.testing.assert_allclose(
+                    child.state(), fresh.state(), atol=1e-10
+                )
+                assert child.expectation(OBSERVABLE) == pytest.approx(
+                    fresh.expectation(OBSERVABLE), abs=1e-10
+                )
+        finally:
+            child.close()
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(0, 10_000), fork_first=st.booleans())
+def test_edits_never_cross_fork_boundary(seed, fork_first):
+    """Child edits leave the parent bit-identical, and vice versa."""
+    rng = np.random.default_rng(seed)
+    with QTask(4, num_workers=1, fusion=bool(seed % 2)) as parent:
+        rz_handles, rx_handles = _build_workload(parent)
+        if not fork_first:
+            parent.update_state()
+        child = parent.fork()  # flushes pending modifiers when fork_first
+        try:
+            parent_state = parent.state()
+            parent_exp = parent.expectation(OBSERVABLE)
+            child_net = child.insert_net()
+
+            # -- child edits: retune + insert + remove
+            child.update_gate(
+                child.handle_for(rz_handles[0]), float(rng.uniform(0.1, 6.0))
+            )
+            child.insert_gate("h", child_net, 1)
+            child.remove_gate(child.handle_for(rx_handles[-1]))
+            child.update_state()
+
+            np.testing.assert_array_equal(parent.state(), parent_state)
+            assert parent.expectation(OBSERVABLE) == parent_exp
+
+            # -- parent edits: the child must be equally unperturbed
+            child_state = child.state()
+            child_exp = child.expectation(OBSERVABLE)
+            parent.update_gate(rz_handles[1], float(rng.uniform(0.1, 6.0)))
+            parent_net = parent.insert_net()
+            parent.insert_gate("x", parent_net, 0)
+            parent.update_state()
+
+            np.testing.assert_array_equal(child.state(), child_state)
+            assert child.expectation(OBSERVABLE) == child_exp
+
+            # Both sides still agree with their own dense ground truth.
+            np.testing.assert_allclose(
+                parent.state(),
+                reference_state(4, circuit_levels(parent.circuit)),
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                child.state(),
+                reference_state(4, circuit_levels(child.circuit)),
+                atol=1e-9,
+            )
+        finally:
+            child.close()
+
+
+def test_fork_of_fork_is_isolated():
+    with QTask(4, num_workers=1) as parent:
+        rz_handles, _ = _build_workload(parent)
+        parent.update_state()
+        child = parent.fork()
+        grandchild = child.fork()
+        try:
+            grandchild.update_gate(grandchild.handle_for(
+                child.handle_for(rz_handles[0])), 2.5)
+            grandchild.update_state()
+            np.testing.assert_allclose(
+                grandchild.state(),
+                reference_state(4, circuit_levels(grandchild.circuit)),
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(child.state(), parent.state(), atol=1e-14)
+        finally:
+            grandchild.close()
+            child.close()
+
+
+# ---------------------------------------------------------------------------
+# memory sharing
+# ---------------------------------------------------------------------------
+
+
+def test_memory_report_shows_forks_sharing_blocks():
+    """A fork fleet owns ~nothing until it diverges: sublinear memory."""
+    num_forks = 8
+    with QTask(6, num_workers=1, block_size=8) as parent:
+        rz_handles, _ = _build_workload(parent)
+        parent.update_state()
+        parent_report = parent.memory_report()
+        assert parent_report.shared_blocks == 0
+        assert parent_report.owned_bytes == parent_report.allocated_bytes > 0
+
+        forks = [parent.fork() for _ in range(num_forks)]
+        try:
+            for fork in forks:
+                report = fork.memory_report()
+                # Every materialised block references the parent's memory.
+                assert report.allocated_bytes == parent_report.allocated_bytes
+                assert report.shared_blocks == report.stored_blocks
+                assert report.shared_bytes == report.allocated_bytes
+                assert report.owned_bytes == 0
+            # Fleet-wide footprint: one parent's worth of amplitudes, not
+            # (num_forks + 1) of them.
+            total_owned = parent_report.owned_bytes + sum(
+                f.memory_report().owned_bytes for f in forks
+            )
+            assert total_owned == parent_report.allocated_bytes
+
+            # The parent refcounts every exported block once per fork.
+            refs = {}
+            for stage in parent.simulator.graph.stages:
+                for block, count in stage.store.exported_block_refs().items():
+                    refs[(stage.uid, block)] = count
+            assert refs and all(count == num_forks for count in refs.values())
+
+            # Divergence: one fork rewrites its retuned cone and now owns
+            # those blocks; the parent's refcounts drop accordingly.
+            diverging = forks[0]
+            diverging.update_gate(diverging.handle_for(rz_handles[0]), 3.0)
+            diverging.update_state()
+            diverged = diverging.memory_report()
+            assert 0 < diverged.owned_bytes < diverged.allocated_bytes
+            new_refs = {}
+            for stage in parent.simulator.graph.stages:
+                for block, count in stage.store.exported_block_refs().items():
+                    new_refs[(stage.uid, block)] = count
+            assert any(count == num_forks - 1 for count in new_refs.values())
+            # The other forks still share everything.
+            assert forks[1].memory_report().owned_bytes == 0
+        finally:
+            for fork in forks:
+                fork.close()
+
+
+def test_closing_a_fork_leaves_parent_usable():
+    with QTask(4, num_workers=1) as parent:
+        _build_workload(parent)
+        parent.update_state()
+        child = parent.fork()
+        expected = parent.state()
+        child.close()
+        parent.update_state()
+        np.testing.assert_allclose(parent.state(), expected, atol=1e-14)
+
+
+# ---------------------------------------------------------------------------
+# observables cache handoff
+# ---------------------------------------------------------------------------
+
+
+def test_fork_inherits_warm_observable_cache():
+    with QTask(N_QUBITS, num_workers=1) as parent:
+        _build_workload(parent)
+        parent.update_state()
+        expected = parent.expectation(OBSERVABLE)  # warm the cache
+        warm = parent.simulator.observables.cached_partials
+        assert warm > 0
+        child = parent.fork()
+        try:
+            engine = child.simulator._observables
+            assert engine is not None and engine.cached_partials == warm
+            assert child.expectation(OBSERVABLE) == pytest.approx(
+                expected, abs=1e-12
+            )
+            # The caches are independent: invalidating the child's leaves
+            # the parent's untouched.
+            engine.invalidate()
+            assert parent.simulator.observables.cached_partials == warm
+        finally:
+            child.close()
+
+
+def test_handle_for_rejects_foreign_and_non_fork_sessions():
+    from repro.core.exceptions import CircuitError, StaleHandleError
+
+    with QTask(3, num_workers=1) as parent:
+        net = parent.insert_net()
+        g = parent.insert_gate("h", net, 0)
+        with pytest.raises(CircuitError):
+            parent.handle_for(g)
+        parent.update_state()
+        child = parent.fork()
+        try:
+            late_net = parent.insert_net()
+            late = parent.insert_gate("x", late_net, 1)
+            with pytest.raises(StaleHandleError):
+                child.handle_for(late)
+            assert child.handle_for(g).gate == g.gate
+        finally:
+            child.close()
+
+
+def test_fork_flushes_pending_modifiers():
+    with QTask(3, num_workers=1) as parent:
+        net = parent.insert_net()
+        parent.insert_gate("h", net, 0)
+        # No update_state() yet: fork must flush so the child inherits H|000>.
+        child = parent.fork()
+        try:
+            amp = 1.0 / np.sqrt(2.0)
+            np.testing.assert_allclose(
+                child.state()[[0, 1]], [amp, amp], atol=1e-12
+            )
+            assert parent.simulator.last_update.affected_partitions > 0
+        finally:
+            child.close()
+
+
+def test_fork_matches_dense_expectation_ground_truth():
+    """Block-wise expectations on a retuned fork match dense evaluation."""
+    with QTask(N_QUBITS, num_workers=1, fusion=True) as parent:
+        rz_handles, _ = _build_workload(parent)
+        parent.update_state()
+        parent.expectation(OBSERVABLE)
+        child = parent.fork()
+        try:
+            child.update_gate(child.handle_for(rz_handles[2]), 1.9)
+            child.update_state()
+            dense = dense_expectation(child.state(), OBSERVABLE)
+            assert child.expectation(OBSERVABLE) == pytest.approx(
+                dense, abs=1e-10
+            )
+        finally:
+            child.close()
