@@ -24,6 +24,7 @@ Quick start::
 
 from .core.blocks import DEFAULT_BLOCK_SIZE
 from .core.circuit import Circuit
+from .core.classical import ClassicalRegister, OutcomeRecord
 from .core.gates import Gate, gate_matrix
 from .core.simulator import QTaskSimulator, UpdateReport
 from .observables import PauliString, PauliSum
@@ -34,6 +35,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "QTask",
+    "ClassicalRegister",
+    "OutcomeRecord",
     "SweepRunner",
     "SweepResult",
     "QTaskSimulator",

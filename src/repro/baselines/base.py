@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -10,7 +11,10 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..core.circuit import Circuit
-from ..core.gates import extract_local
+from ..core.classical import OutcomeRecord
+from ..core.exceptions import CircuitError
+from ..core.gates import Gate, extract_local
+from ..core.ops import CGate, MeasureOp, ResetOp
 from ..observables.engine import dense_expectation, statevector_counts
 
 __all__ = ["BaselineResult", "BaselineSimulator"]
@@ -36,9 +40,14 @@ class BaselineSimulator(ABC):
 
     name: str = "baseline"
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(
+        self, circuit: Circuit, *, outcome_record: Optional[OutcomeRecord] = None
+    ) -> None:
         self.circuit = circuit
         self.dim = 1 << circuit.num_qubits
+        #: per-trajectory classical state for dynamic circuits (measure /
+        #: reset / c_if); entropy-seeded unless the subclass passes one in
+        self.outcomes = outcome_record or OutcomeRecord(circuit.num_clbits)
         self._state = self._fresh_state()
         self.last_update = BaselineResult()
         self._num_updates = 0
@@ -52,9 +61,54 @@ class BaselineSimulator(ABC):
     def _apply_circuit(self, state: np.ndarray) -> np.ndarray:
         """Apply every gate of the circuit (net order) to ``state``."""
 
+    def _apply_gate(self, state: np.ndarray, gate: Gate) -> np.ndarray:
+        """Subclass unitary kernel (required to use :meth:`_apply_operation`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement a unitary kernel"
+        )
+
+    # -- dynamic operations (shared across every baseline) -------------------
+
+    def _apply_operation(self, state: np.ndarray, op) -> np.ndarray:
+        """Apply one circuit operation: unitary, conditioned, or collapse.
+
+        Baselines dispatch through this so parsed circuits carrying dynamic
+        operations run on every baseline; the unitary payload still goes
+        through the subclass's own kernel (:meth:`_apply_gate`).
+        """
+        if isinstance(op, Gate):
+            return self._apply_gate(state, op)
+        if isinstance(op, CGate):
+            if self.outcomes.value_of(op.condition_bits) == op.condition_value:
+                return self._apply_gate(state, op.gate)
+            return state
+        if isinstance(op, (MeasureOp, ResetOp)):
+            return self._collapse(op, state)
+        raise CircuitError(f"unknown operation {op!r}")
+
+    def _collapse(self, op, state: np.ndarray) -> np.ndarray:
+        """Dense projective collapse (measure) / reset of one qubit."""
+        q = op.qubit
+        idx = np.arange(state.shape[0], dtype=np.int64)
+        bits = (idx >> q) & 1
+        probs = (state.conj() * state).real
+        p1 = float(probs[bits == 1].sum())
+        p0 = float(probs[bits == 0].sum())
+        outcome = self.outcomes.choose(op.op_index, p0, p1)
+        scale = 1.0 / math.sqrt(p1 if outcome else p0)
+        if isinstance(op, MeasureOp):
+            out = np.where(bits == outcome, state * scale, 0.0 + 0.0j)
+            self.outcomes.set_bit(op.clbit, outcome)
+            return out
+        out = np.zeros_like(state)
+        keep = bits == 0
+        out[keep] = state[idx[keep] | (outcome << q)] * scale
+        return out
+
     def update_state(self) -> BaselineResult:
         start = time.perf_counter()
         state = self._fresh_state()
+        self.outcomes.begin_pass()  # each full pass is a fresh trajectory
         state = self._apply_circuit(state)
         self._state = state
         result = BaselineResult(

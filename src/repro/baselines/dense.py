@@ -5,15 +5,26 @@ kernels: every gate is embedded into a dense ``2^n x 2^n`` matrix with an
 index-loop construction and multiplied into the state.  It is exponentially
 expensive and only meant as the oracle for correctness tests (which is why it
 refuses to run beyond a small number of qubits).
+
+Dynamic circuits are covered too: measure/reset collapse the dense vector
+with plain index masks, classically-conditioned gates consult the oracle's
+own :class:`~repro.core.classical.OutcomeRecord`.  The record uses the same
+``(seed, op_index)``-keyed randomness as qTask, so a seeded dense run follows
+the same trajectory as a seeded incremental run; for exact (1e-10) amplitude
+equivalence tests, pass ``forced_outcomes`` to replay the collapse sequence
+an incremental run recorded, eliminating knife-edge draws entirely.
 """
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 import numpy as np
 
 from ..core.circuit import Circuit
+from ..core.classical import OutcomeRecord
 from ..core.exceptions import CircuitError
-from ..core.gates import embed_gate_matrix
+from ..core.gates import Gate, embed_gate_matrix
 from .base import BaselineSimulator
 
 __all__ = ["DenseReferenceSimulator"]
@@ -27,23 +38,46 @@ class DenseReferenceSimulator(BaselineSimulator):
 
     name = "dense-reference"
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        seed: Optional[int] = None,
+        record: Optional[OutcomeRecord] = None,
+        forced_outcomes: Optional[Mapping[int, int]] = None,
+    ) -> None:
         if circuit.num_qubits > MAX_REFERENCE_QUBITS:
             raise CircuitError(
                 f"DenseReferenceSimulator supports at most {MAX_REFERENCE_QUBITS} "
                 f"qubits, got {circuit.num_qubits}"
             )
-        super().__init__(circuit)
+        if record is not None and (seed is not None or forced_outcomes):
+            raise CircuitError(
+                "pass either a prebuilt record or seed/forced_outcomes, not both"
+            )
+        # trajectory state for dynamic circuits (every update_state starts a
+        # fresh pass over the ops, so replayed/forced outcomes stay valid)
+        if record is None:
+            record = OutcomeRecord(
+                circuit.num_clbits, seed=seed, forced=forced_outcomes
+            )
+        super().__init__(circuit, outcome_record=record)
+
+    def _apply_gate(self, state: np.ndarray, gate: Gate) -> np.ndarray:
+        return embed_gate_matrix(gate, self.circuit.num_qubits) @ state
 
     def _apply_circuit(self, state: np.ndarray) -> np.ndarray:
-        n = self.circuit.num_qubits
         for net in self.circuit.nets():
             for handle in net.gates:
-                state = embed_gate_matrix(handle.gate, n) @ state
+                state = self._apply_operation(state, handle.gate)
         return state
 
     def unitary(self) -> np.ndarray:
         """The full circuit unitary (useful for equivalence-checking tests)."""
+        if self.circuit.has_dynamic_ops:
+            raise CircuitError(
+                "a dynamic circuit (measure/reset/c_if) has no circuit unitary"
+            )
         n = self.circuit.num_qubits
         u = np.eye(1 << n, dtype=complex)
         for net in self.circuit.nets():

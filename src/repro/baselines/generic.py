@@ -33,5 +33,7 @@ class QiskitLikeSimulator(BaselineSimulator):
     def _apply_circuit(self, state: np.ndarray) -> np.ndarray:
         for net in self.circuit.nets():
             for handle in net.gates:
-                state = self._apply_gate(state, handle.gate)
+                # dispatch through the base so dynamic circuits (measure /
+                # reset / c_if from parsed QASM) run on this baseline too
+                state = self._apply_operation(state, handle.gate)
         return state

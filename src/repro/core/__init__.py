@@ -2,6 +2,7 @@
 
 from .blocks import DEFAULT_BLOCK_SIZE, BlockRange, IntervalSet
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
+from .classical import ClassicalRegister, OutcomeRecord
 from .cow import (
     BlockDirectory,
     BlockStore,
@@ -31,9 +32,19 @@ from .gates import (
     is_superposition_gate,
 )
 from .graph import PartitionGraph, PartitionNode
+from .ops import CGate, MeasureOp, ResetOp, is_dynamic_op
 from .partition import PartitionSpec, derive_partitions, matvec_partitions
 from .simulator import QTaskSimulator, UpdateReport
-from .stage import FusedUnitaryStage, MatVecStage, Stage, UnitaryStage
+from .stage import (
+    ClassicallyControlledStage,
+    DynamicStage,
+    FusedUnitaryStage,
+    MatVecStage,
+    MeasureStage,
+    ResetStage,
+    Stage,
+    UnitaryStage,
+)
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -43,6 +54,16 @@ __all__ = [
     "CircuitObserver",
     "GateHandle",
     "NetHandle",
+    "ClassicalRegister",
+    "OutcomeRecord",
+    "CGate",
+    "MeasureOp",
+    "ResetOp",
+    "is_dynamic_op",
+    "DynamicStage",
+    "MeasureStage",
+    "ResetStage",
+    "ClassicallyControlledStage",
     "BlockDirectory",
     "BlockStore",
     "DirectoryReader",

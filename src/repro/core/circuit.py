@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .classical import ClassicalRegister
 from .exceptions import (
     CircuitError,
     NetDependencyError,
@@ -24,6 +25,14 @@ from .exceptions import (
     StaleHandleError,
 )
 from .gates import Gate
+from .ops import (
+    CGate,
+    MeasureOp,
+    ResetOp,
+    is_dynamic_op,
+    op_clbits_read,
+    op_clbits_written,
+)
 
 __all__ = ["GateHandle", "NetHandle", "CircuitObserver", "Circuit"]
 
@@ -72,6 +81,14 @@ class NetHandle:
     def qubits_in_use(self) -> set:
         return {q for h in self.gates for q in h.gate.qubits}
 
+    def clbits_in_use(self) -> set:
+        """Classical bits read or written by any operation in this net."""
+        out: set = set()
+        for h in self.gates:
+            out.update(op_clbits_read(h.gate))
+            out.update(op_clbits_written(h.gate))
+        return out
+
     def _check_alive(self) -> None:
         if not self.alive:
             raise StaleHandleError(f"net handle {self!r} refers to a removed net")
@@ -116,10 +133,25 @@ class CircuitObserver:
 class Circuit:
     """An ordered list of nets of structurally parallel gates."""
 
-    def __init__(self, num_qubits: int, *, allow_net_dependencies: bool = False) -> None:
+    def __init__(
+        self,
+        num_qubits: int,
+        *,
+        num_clbits: int = 0,
+        allow_net_dependencies: bool = False,
+    ) -> None:
         if num_qubits <= 0:
             raise CircuitError(f"number of qubits must be positive, got {num_qubits}")
+        if num_clbits < 0:
+            raise CircuitError(f"number of clbits must be >= 0, got {num_clbits}")
         self.num_qubits = int(num_qubits)
+        #: anonymous classical bits declared up front; registers add more
+        self.num_clbits = int(num_clbits)
+        self._cregs: Dict[str, ClassicalRegister] = {}
+        #: program-order counter assigning ``op_index`` to dynamic operations
+        self._num_dynamic_ops = 0
+        #: op indices live in this circuit (collision guard for reused ops)
+        self._dynamic_indices: set = set()
         self._nets: List[NetHandle] = []
         self._observers: List[CircuitObserver] = []
         #: when True, the per-net structural-parallelism check is skipped
@@ -147,6 +179,48 @@ class Circuit:
 
     def nets(self) -> List[NetHandle]:
         return list(self._nets)
+
+    # -- classical registers ---------------------------------------------------
+
+    def add_classical_register(self, name: str, size: int) -> ClassicalRegister:
+        """Declare ``size`` new classical bits under ``name``.
+
+        The register's bits are appended after every bit already declared
+        (constructor ``num_clbits`` first, then registers in declaration
+        order), mirroring how multiple ``qreg`` declarations flatten into
+        one global qubit index space.
+        """
+        if size <= 0:
+            raise CircuitError(f"register size must be positive, got {size}")
+        if name in self._cregs:
+            raise CircuitError(f"classical register {name!r} already declared")
+        reg = ClassicalRegister(name=name, offset=self.num_clbits, size=int(size))
+        self._cregs[name] = reg
+        self.num_clbits += int(size)
+        return reg
+
+    def classical_registers(self) -> List[ClassicalRegister]:
+        """Declared classical registers, in declaration order."""
+        return list(self._cregs.values())
+
+    def creg(self, name: str) -> ClassicalRegister:
+        try:
+            return self._cregs[name]
+        except KeyError:
+            raise CircuitError(f"unknown classical register {name!r}") from None
+
+    @property
+    def num_dynamic_ops(self) -> int:
+        """Dynamic (measure/reset/classically-controlled) operations inserted."""
+        return self._num_dynamic_ops
+
+    def dynamic_handles(self) -> List[GateHandle]:
+        """Handles of every dynamic operation, in net order."""
+        return [h for h in self.gates() if is_dynamic_op(h.gate)]
+
+    @property
+    def has_dynamic_ops(self) -> bool:
+        return any(is_dynamic_op(h.gate) for h in self.gates())
 
     def net_position(self, net: NetHandle) -> int:
         net._check_alive()
@@ -237,31 +311,111 @@ class Circuit:
         gate already present in the net (the paper's structural-parallelism
         rule), and :class:`QubitIndexError` for out-of-range qubits.
         """
-        net._check_alive()
-        if net not in self._nets:
-            raise StaleHandleError(f"net {net!r} does not belong to this circuit")
         if isinstance(gate, str):
             gate = Gate(gate, tuple(qubits), tuple(params))
         elif qubits or params:
             raise CircuitError("pass qubits/params only when giving a gate name")
-        for q in gate.qubits:
+        return self.insert_operation(gate, net)
+
+    def insert_operation(self, op, net: NetHandle) -> GateHandle:
+        """Insert any operation (unitary gate or dynamic op) into a net.
+
+        Validates qubit/clbit ranges and the net invariant: operations in one
+        net must be pairwise disjoint in the qubits *and* the classical bits
+        they touch, so within-net execution order can never matter.  Dynamic
+        operations are assigned their program-order ``op_index`` here (on
+        first insertion only -- clones re-inserting the same op keep it).
+        """
+        net._check_alive()
+        if net not in self._nets:
+            raise StaleHandleError(f"net {net!r} does not belong to this circuit")
+        for q in op.qubits:
             if not 0 <= q < self.num_qubits:
                 raise QubitIndexError(
                     f"qubit {q} out of range for a {self.num_qubits}-qubit circuit"
                 )
+        clbits = tuple(op_clbits_read(op)) + tuple(op_clbits_written(op))
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(
+                    f"classical bit {c} out of range for a circuit with "
+                    f"{self.num_clbits} clbit(s)"
+                )
         if not self.allow_net_dependencies:
             used = net.qubits_in_use()
-            overlap = used.intersection(gate.qubits)
+            overlap = used.intersection(op.qubits)
             if overlap:
                 raise NetDependencyError(
-                    f"gate {gate} would introduce a dependency in net "
+                    f"operation {op} would introduce a dependency in net "
                     f"{net.name}: qubits {sorted(overlap)} already in use"
                 )
-        handle = GateHandle(gate, net)
+            if clbits:  # pure unitaries skip the clbit scan entirely
+                cl_overlap = net.clbits_in_use().intersection(clbits)
+                if cl_overlap:
+                    raise NetDependencyError(
+                        f"operation {op} would introduce a classical dependency "
+                        f"in net {net.name}: clbits {sorted(cl_overlap)} already "
+                        "in use"
+                    )
+        if is_dynamic_op(op):
+            if op.op_index is None:
+                op.op_index = self._num_dynamic_ops
+            elif op.op_index in self._dynamic_indices:
+                # an op object carried over from another circuit (or inserted
+                # twice) would share its keyed random stream with an existing
+                # op here -- refuse rather than silently corrupt trajectories
+                raise CircuitError(
+                    f"operation {op} carries op_index {op.op_index}, which is "
+                    "already in use in this circuit; create a fresh operation "
+                    "instead of reusing one across circuits"
+                )
+            self._dynamic_indices.add(op.op_index)
+            # clones re-insert ops carrying indices; keep the counter ahead
+            self._num_dynamic_ops = max(self._num_dynamic_ops, op.op_index + 1)
+        handle = GateHandle(op, net)
         net.gates.append(handle)
         for obs in self._observers:
             obs.on_gate_inserted(self, handle)
         return handle
+
+    # -- circuit modifiers: dynamic operations ---------------------------------
+
+    def insert_measure(self, net: NetHandle, qubit: int, clbit: int) -> GateHandle:
+        """Measure ``qubit`` in the Z basis into classical bit ``clbit``.
+
+        The measurement collapses the state mid-circuit (block-wise
+        projective collapse + renormalisation in the simulator) and writes
+        the observed bit into the session's outcome record.
+        """
+        return self.insert_operation(MeasureOp(qubit, clbit), net)
+
+    def insert_reset(self, net: NetHandle, qubit: int) -> GateHandle:
+        """Reset ``qubit`` to |0> (projective measurement plus conditional flip)."""
+        return self.insert_operation(ResetOp(qubit), net)
+
+    def insert_cgate(
+        self,
+        gate: Union[Gate, str],
+        net: NetHandle,
+        *qubits: int,
+        params: Sequence[float] = (),
+        condition: Tuple[Union[ClassicalRegister, Sequence[int]], int],
+    ) -> GateHandle:
+        """Insert a classically-conditioned gate (``if (c == k) gate ...``).
+
+        ``condition`` is ``(bits, value)`` where ``bits`` is a
+        :class:`~repro.core.classical.ClassicalRegister` or an explicit
+        clbit sequence (LSB first); the gate applies only when the bits hold
+        exactly ``value`` at execution time.
+        """
+        if isinstance(gate, str):
+            gate = Gate(gate, tuple(qubits), tuple(params))
+        elif qubits or params:
+            raise CircuitError("pass qubits/params only when giving a gate name")
+        bits, value = condition
+        if isinstance(bits, ClassicalRegister):
+            bits = bits.bits
+        return self.insert_operation(CGate(gate, bits, value), net)
 
     def remove_gate(self, handle: GateHandle) -> None:
         """Remove a gate from its net and the circuit."""
@@ -271,6 +425,9 @@ class Circuit:
             raise StaleHandleError(f"gate {handle!r} does not belong to its net")
         net.gates.remove(handle)
         handle.alive = False
+        if is_dynamic_op(handle.gate):
+            # the index may be re-inserted later (synthesis loops move ops)
+            self._dynamic_indices.discard(handle.gate.op_index)
         for obs in self._observers:
             obs.on_gate_removed(self, handle)
 
@@ -292,6 +449,10 @@ class Circuit:
         if handle not in net.gates:
             raise StaleHandleError(f"gate {handle!r} does not belong to its net")
         old_gate = handle.gate
+        if not isinstance(old_gate, Gate):
+            raise CircuitError(
+                f"only unitary gates can be retuned, not {old_gate}"
+            )
         # Same name and qubits: the net invariant cannot be violated, and the
         # Gate constructor re-validates the parameter count.
         handle.gate = Gate(old_gate.name, old_gate.qubits, tuple(params))
@@ -312,15 +473,23 @@ class Circuit:
         sessions.
         """
         child = Circuit(
-            self.num_qubits, allow_net_dependencies=self.allow_net_dependencies
+            self.num_qubits,
+            num_clbits=0,
+            allow_net_dependencies=self.allow_net_dependencies,
         )
+        # Mirror the classical declarations bit-for-bit: anonymous bits
+        # first, then the named registers at their original offsets.
+        child.num_clbits = self.num_clbits
+        child._cregs = dict(self._cregs)
         gate_map: Dict[int, GateHandle] = {}
         net_map: Dict[int, NetHandle] = {}
         for net in self._nets:
             child_net = child.insert_net()
             net_map[net.uid] = child_net
             for handle in net.gates:
-                gate_map[handle.uid] = child.insert_gate(handle.gate, child_net)
+                # insert_operation reuses dynamic ops by reference, which
+                # preserves their op_index (and with it the trajectory keying)
+                gate_map[handle.uid] = child.insert_operation(handle.gate, child_net)
         return child, gate_map, net_map
 
     # -- bulk helpers ---------------------------------------------------------

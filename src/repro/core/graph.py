@@ -22,7 +22,7 @@ import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
 
 from .blocks import BlockRange, IntervalSet
-from .stage import MatVecStage, Stage
+from .stage import Stage
 
 __all__ = ["PartitionNode", "PartitionGraph", "GraphStats"]
 
@@ -439,6 +439,18 @@ class PartitionGraph:
         for node in self._nodes_by_stage.get(stage.uid, []):
             self._frontiers.add(node)
 
+    def touch_stage_full(self, stage: Stage) -> None:
+        """``touch_stage`` plus the stage's sync barrier, when it has one.
+
+        Dynamic stages draw their measurement outcome in ``prepare`` (the
+        sync node's body); re-arming a trajectory must therefore re-execute
+        the sync as well, not just the collapse partitions.
+        """
+        self.touch_stage(stage)
+        sync = self._sync_by_stage.get(stage.uid)
+        if sync is not None:
+            self._frontiers.add(sync)
+
     # ------------------------------------------------------------------
     # incremental scoping
     # ------------------------------------------------------------------
@@ -462,14 +474,15 @@ class PartitionGraph:
                 if s.uid not in visited:
                     visited.add(s.uid)
                     stack.append(s)
-        # When any partition of a matvec stage is affected, the whole stage is
-        # (its blocks are computed from one shared prepared input).
+        # When any partition of a full-read stage (matvec, measure, reset,
+        # superposition c_if) is affected, the whole stage is: its blocks are
+        # computed from one shared prepared input / drawn outcome.
         extra: List[PartitionNode] = []
-        touched_matvec: Set[int] = set()
+        touched_full: Set[int] = set()
         for node in out:
-            if isinstance(node.stage, MatVecStage):
-                touched_matvec.add(node.stage.uid)
-        for stage_uid in touched_matvec:
+            if node.stage.reads_all_blocks():
+                touched_full.add(node.stage.uid)
+        for stage_uid in touched_full:
             for node in self._nodes_by_stage.get(stage_uid, []):
                 if node.uid not in visited:
                     visited.add(node.uid)

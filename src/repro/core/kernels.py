@@ -41,6 +41,8 @@ __all__ = [
     "apply_action_run",
     "apply_gate_dense",
     "apply_matrix_dense",
+    "measured_masses",
+    "collapse_run",
 ]
 
 _DTYPE = np.complex128
@@ -249,6 +251,108 @@ def apply_action_run(
     the kernel output instead of copying it block by block.
     """
     out = apply_action_range(reader, lo, hi, qubits, action)
+    store.write_range(lo, out, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Projective-collapse kernels (dynamic circuits: measure / reset)
+# ---------------------------------------------------------------------------
+
+
+def measured_masses(
+    reader: StateReader, qubit: int, dim: int, block_size: int
+) -> Tuple[float, float]:
+    """Unnormalised probability masses ``(p0, p1)`` of measuring ``qubit``.
+
+    Accumulated block by block through the COW block resolution -- the same
+    per-block probability masses the observables engine's sampling tree and
+    parity kernels are built on -- so a measurement's ``prepare`` never
+    materialises the full ``2^n`` vector.  For qubits at or above the block
+    width the bit is constant per block and a block contributes its whole
+    mass to one side; below it, one reshape splits each block's probability
+    rows into the two halves.
+    """
+    block_len = min(dim, block_size)
+    n_blocks = dim // block_len
+    p0 = 0.0
+    p1 = 0.0
+    nb_bits = block_len.bit_length() - 1
+    if qubit >= nb_bits:
+        for b in range(n_blocks):
+            lo = b * block_len
+            amps = np.asarray(
+                reader.read_range(lo, lo + block_len - 1), dtype=_DTYPE
+            )
+            mass = float(np.real(np.vdot(amps, amps)))
+            if (lo >> qubit) & 1:
+                p1 += mass
+            else:
+                p0 += mass
+        return p0, p1
+    period = 1 << (qubit + 1)
+    half = 1 << qubit
+    for b in range(n_blocks):
+        lo = b * block_len
+        amps = np.asarray(reader.read_range(lo, lo + block_len - 1), dtype=_DTYPE)
+        probs = (amps.conj() * amps).real.reshape(-1, period)
+        p0 += float(probs[:, :half].sum())
+        p1 += float(probs[:, half:].sum())
+    return p0, p1
+
+
+def collapse_run(
+    reader: StateReader,
+    store,
+    lo: int,
+    hi: int,
+    qubit: int,
+    outcome: int,
+    scale: float,
+    *,
+    move: bool = False,
+) -> None:
+    """Collapse ``[lo, hi]`` onto ``qubit == outcome`` and publish zero-copy.
+
+    With ``move=False`` (measurement) amplitudes whose ``qubit`` bit equals
+    ``outcome`` are scaled by ``1/sqrt(p_outcome)`` and everything else is
+    zeroed.  With ``move=True`` (reset) the surviving amplitudes are
+    additionally relocated to the ``qubit = 0`` subspace, so the qubit ends
+    in |0> whatever was measured.  Aligned power-of-two runs where the qubit
+    bit is constant skip the index arithmetic entirely (and runs that
+    collapse to zero never read their input at all).
+    """
+    n = hi - lo + 1
+    nb = _range_alignment(lo, n)
+    if nb >= 0 and qubit >= nb:
+        bit = (lo >> qubit) & 1
+        if not move:
+            if bit == outcome:
+                out = np.asarray(reader.read_range(lo, hi), dtype=_DTYPE) * scale
+            else:
+                out = np.zeros(n, dtype=_DTYPE)
+        else:
+            if bit == 0:
+                src_lo = lo | (outcome << qubit)
+                out = (
+                    np.asarray(
+                        reader.read_range(src_lo, src_lo + n - 1), dtype=_DTYPE
+                    )
+                    * scale
+                )
+            else:
+                out = np.zeros(n, dtype=_DTYPE)
+        store.write_range(lo, out, copy=False)
+        return
+    idx = np.arange(lo, hi + 1, dtype=np.int64)
+    bits = (idx >> qubit) & 1
+    if not move:
+        src = np.asarray(reader.read_range(lo, hi), dtype=_DTYPE)
+        out = np.where(bits == outcome, src * scale, 0.0 + 0.0j)
+    else:
+        out = np.zeros(n, dtype=_DTYPE)
+        keep = bits == 0
+        src_idx = idx[keep] | (outcome << qubit)
+        out[keep] = reader.gather(src_idx) * scale
     store.write_range(lo, out, copy=False)
 
 

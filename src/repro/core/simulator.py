@@ -28,6 +28,7 @@ import numpy as np
 from ..parallel import Executor, SequentialExecutor, TaskGraph, make_executor
 from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_size
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
+from .classical import OutcomeRecord
 from .cow import (
     BlockDirectory,
     DirectoryReader,
@@ -38,7 +39,17 @@ from .cow import (
 from .exceptions import CircuitError
 from .gates import Gate, compose_actions, is_superposition_gate
 from .graph import PartitionGraph, PartitionNode
-from .stage import FusedUnitaryStage, MatVecStage, Stage, UnitaryStage
+from .ops import CGate, MeasureOp, ResetOp, is_dynamic_op
+from .stage import (
+    ClassicallyControlledStage,
+    DynamicStage,
+    FusedUnitaryStage,
+    MatVecStage,
+    MeasureStage,
+    ResetStage,
+    Stage,
+    UnitaryStage,
+)
 
 __all__ = ["UpdateReport", "QTaskSimulator"]
 
@@ -75,6 +86,7 @@ class QTaskSimulator(CircuitObserver):
         max_fused_qubits: int = 4,
         block_directory: bool = True,
         observable_cache: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         self.circuit = circuit
         self.block_size = validate_block_size(block_size)
@@ -134,6 +146,13 @@ class QTaskSimulator(CircuitObserver):
         #: completed ``update_state`` calls; with the frontier set this is
         #: the state epoch fork fleets use to detect a diverged base session
         self._num_updates = 0
+
+        #: per-trajectory classical state: measurement outcomes, classical
+        #: bits and the keyed randomness that draws collapses.  Dynamic
+        #: stages hold a reference to this record; forks clone their own.
+        self.outcomes = OutcomeRecord(circuit.num_clbits, seed=seed)
+        #: live dynamic stages, in no particular order (trajectory re-arming)
+        self._dynamic_stages: Dict[int, DynamicStage] = {}
 
         #: cache per-(term, block) observable partials across updates; with
         #: ``False`` the (lazily created) observables engine recomputes every
@@ -245,6 +264,11 @@ class QTaskSimulator(CircuitObserver):
         child.observable_cache = self.observable_cache
         child._dirty_listeners = []
         child._observables = None
+        # The child's trajectory starts as a verbatim copy of the parent's
+        # classical state; the mirror hook below rebinds every cloned
+        # dynamic stage to this record, so re-collapses stay fork-local.
+        child.outcomes = self.outcomes.clone()
+        child._dynamic_stages = {}
 
         # Mirror the parent's stages in its exact global order (the block
         # directory's seq-based resolution depends on it) and clone the
@@ -289,16 +313,67 @@ class QTaskSimulator(CircuitObserver):
     # ------------------------------------------------------------------
 
     def _on_stage_entered(self, stage: Stage) -> None:
+        if isinstance(stage, DynamicStage):
+            stage.bind_record(self.outcomes)
+            if isinstance(stage, ClassicallyControlledStage):
+                stage.bind_clbit_lookup(self._clbit_value_asof)
+            self._dynamic_stages[stage.uid] = stage
         if self.block_directory:
             self._directory.attach(stage)
+
+    def _clbit_value_asof(self, bit: int, before_seq: int) -> int:
+        """The value of ``bit`` at program point ``before_seq``.
+
+        Resolved from the recorded outcome of the latest measurement stage
+        that writes ``bit`` and executes strictly before ``before_seq`` --
+        never from the final classical register, whose bits a *later*
+        measurement may have overwritten on a previous (partial) execution
+        pass.  This is what makes incrementally re-executed c_if stages read
+        the same values a from-scratch run would.
+        """
+        best_seq = -1
+        value = 0
+        for stage in self._dynamic_stages.values():
+            if (
+                isinstance(stage, MeasureStage)
+                and stage.op.clbit == bit
+                and best_seq < stage.seq < before_seq
+            ):
+                outcome = self.outcomes.outcome_of(stage.op.op_index)
+                if outcome is not None:
+                    best_seq = stage.seq
+                    value = outcome
+        return value
 
     def _on_stage_left(self, stage: Stage) -> None:
         # A departing stage's stored blocks now resolve to an *older* writer,
         # which changes the final state even when nothing re-executes (e.g.
         # removing the last gate of the circuit) -- so they are dirty now.
         self._notify_dirty(stage.store.stored_blocks())
+        self._dynamic_stages.pop(stage.uid, None)
+        if isinstance(stage, MeasureStage):
+            # A removed measurement no longer backs its classical bit:
+            # forget its outcome and fall back to the latest surviving
+            # writer of the bit (0 when none), so downstream c_if stages --
+            # which the removal's frontier re-executes -- read the value a
+            # from-scratch run of the edited circuit would produce.
+            self.outcomes.discard_op(stage.op.op_index)
+            self._restore_clbit(stage.op.clbit)
+        elif isinstance(stage, ResetStage):
+            self.outcomes.discard_op(stage.op.op_index)
         if self.block_directory:
             self._directory.detach(stage)
+
+    def _restore_clbit(self, clbit: int) -> None:
+        """Rebind ``clbit`` to the last surviving measurement that wrote it."""
+        value = 0
+        for handle in self.circuit.gates():
+            op = handle.gate
+            if isinstance(op, MeasureOp) and op.clbit == clbit:
+                outcome = self.outcomes.outcome_of(op.op_index)
+                if outcome is not None:
+                    value = outcome
+        self.outcomes.set_bit(clbit, value)
 
     # ------------------------------------------------------------------
     # dirty-block listeners (observable caches)
@@ -341,6 +416,11 @@ class QTaskSimulator(CircuitObserver):
         net = handle.net
         self._net_stages.setdefault(net.uid, [])
         gate = handle.gate
+        if is_dynamic_op(gate):
+            self.outcomes.ensure_bits(circuit.num_clbits)
+            stage = self._make_dynamic_stage(gate)
+            self._insert_stage(handle, net, stage)
+            return
         if is_superposition_gate(gate):
             stage = self._matvec.get(net.uid)
             if stage is not None:
@@ -364,6 +444,17 @@ class QTaskSimulator(CircuitObserver):
             gate, circuit.num_qubits, self.block_size, self.copy_on_write
         )
         self._insert_stage(handle, net, stage, try_fusion=self.fusion)
+
+    def _make_dynamic_stage(self, op) -> DynamicStage:
+        """Build the stage for a measure/reset/classically-controlled op."""
+        args = (self.circuit.num_qubits, self.block_size, self.copy_on_write)
+        if isinstance(op, MeasureOp):
+            return MeasureStage(op, *args, record=self.outcomes)
+        if isinstance(op, ResetOp):
+            return ResetStage(op, *args, record=self.outcomes)
+        if isinstance(op, CGate):
+            return ClassicallyControlledStage(op, *args, record=self.outcomes)
+        raise CircuitError(f"unknown dynamic operation {op!r}")
 
     def _heuristic_position(self, stages: List[Stage], new_stage: UnitaryStage) -> int:
         """Within-net position: matvec first, then ascending block count.
@@ -414,6 +505,11 @@ class QTaskSimulator(CircuitObserver):
             stages = self._net_stages.setdefault(net.uid, [])
             if isinstance(stage, MatVecStage):
                 within = 0  # the matvec stage always leads its net
+            elif isinstance(stage, DynamicStage):
+                # Dynamic ops are qubit- and clbit-disjoint from their net
+                # mates (the extended net invariant), so appending keeps the
+                # block-count heuristic of the unitary stages untouched.
+                within = len(stages)
             else:
                 within = self._heuristic_position(stages, stage)
             position = self._global_position(net, within)
@@ -624,6 +720,31 @@ class QTaskSimulator(CircuitObserver):
         self._stage_handles.pop(stage.uid, None)
         self._stage_net.pop(stage.uid, None)
         self.graph.remove_stage(stage)
+
+    # ------------------------------------------------------------------
+    # trajectories (dynamic circuits)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_dynamic_stages(self) -> int:
+        """Live measure/reset/classically-controlled stages."""
+        return len(self._dynamic_stages)
+
+    def reset_trajectory(self, seed=None) -> None:
+        """Re-arm every dynamic operation for a fresh trajectory.
+
+        Clears the outcome record (reseeding its keyed randomness with
+        ``seed``) and marks every dynamic stage -- including its sync
+        barrier, where outcomes are drawn -- as a frontier, so the next
+        :meth:`update_state` re-collapses from the first measurement onward
+        while the unitary prefix stays cached (copy-on-write makes the
+        re-collapse exactly as incremental as a gate update at the same
+        depth).  This is the primitive :meth:`repro.QTask.run_shots` drives
+        once per shot on its forked sessions.
+        """
+        self.outcomes.reseed(seed)
+        for stage in self._dynamic_stages.values():
+            self.graph.touch_stage_full(stage)
 
     # ------------------------------------------------------------------
     # state update (full or incremental)
@@ -888,6 +1009,7 @@ class QTaskSimulator(CircuitObserver):
                 "block_directory": self.block_directory,
                 "fusion": self.fusion,
                 "num_fused_stages": self._num_fused,
+                "num_dynamic_stages": self.num_dynamic_stages,
                 "observable_cache": self.observable_cache,
                 "cached_observable_partials": (
                     self._observables.cached_partials

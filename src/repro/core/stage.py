@@ -17,14 +17,23 @@ Stages know nothing about graph connectivity or scheduling; that is the job of
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .blocks import BlockRange, aligned_block_runs, num_blocks
+from .classical import OutcomeRecord
 from .cow import BlockStore
 from .gates import Action, Gate, MatVecAction, fuse_gate_actions
-from .kernels import StateReader, apply_action_run, apply_gate_dense
+from .kernels import (
+    StateReader,
+    apply_action_run,
+    apply_gate_dense,
+    collapse_run,
+    measured_masses,
+)
+from .ops import CGate
 from .partition import PartitionSpec, derive_partitions, matvec_partitions
 
 __all__ = [
@@ -32,6 +41,10 @@ __all__ = [
     "UnitaryStage",
     "FusedUnitaryStage",
     "MatVecStage",
+    "DynamicStage",
+    "MeasureStage",
+    "ResetStage",
+    "ClassicallyControlledStage",
     "MATVEC_COMBINE_LIMIT",
     "MAX_RUN_BLOCKS",
 ]
@@ -453,3 +466,272 @@ class MatVecStage(Stage):
             return body
 
         return self._run_tasks(make, block_range)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-circuit stages (measure / reset / classical control)
+# ---------------------------------------------------------------------------
+
+
+class DynamicStage(Stage):
+    """Base class for non-unitary operations driven by an outcome record.
+
+    A dynamic stage carries the circuit-side operation object plus a
+    reference to the simulator's per-trajectory
+    :class:`~repro.core.classical.OutcomeRecord`; the record is *bound* by
+    the owning simulator (and re-bound on session forks, so a fork's
+    trajectory never writes into its parent's classical bits).
+    """
+
+    def __init__(
+        self,
+        op,
+        qubit_count: int,
+        block_size: int,
+        copy_on_write: bool = True,
+        record: Optional[OutcomeRecord] = None,
+    ) -> None:
+        super().__init__(qubit_count, block_size, copy_on_write)
+        self.op = op
+        self.record = record
+
+    def bind_record(self, record: OutcomeRecord) -> None:
+        self.record = record
+
+    def label(self) -> str:
+        return str(self.op)
+
+    def gate_list(self) -> Tuple[Gate, ...]:
+        return ()
+
+    def clone_for_fork(self) -> "DynamicStage":
+        # The op object is shared (immutable apart from its one-shot
+        # op_index); the record is rebound by the forking simulator.
+        clone = type(self).__new__(type(self))
+        DynamicStage.__init__(
+            clone, self.op, self.qubit_count, self.block_size, self.copy_on_write
+        )
+        return clone
+
+
+class _CollapseStage(DynamicStage):
+    """Shared machinery of measure and reset: draw, collapse, renormalise.
+
+    The layout is the matrix--vector one: a sync barrier reading the whole
+    previous state vector (the ``prepare`` hook accumulates the measured
+    qubit's block-wise probability masses and draws the outcome) followed by
+    one partition per data block that projects and rescales -- so a collapse
+    re-executes, and invalidates downstream, exactly like a full-width gate
+    update.
+    """
+
+    #: reset relocates surviving amplitudes to the |0> subspace
+    _move: bool = False
+    # class-level defaults so forked clones (which bypass this __init__, see
+    # DynamicStage.clone_for_fork) still answer `.outcome` with None
+    _outcome: Optional[int] = None
+    _scale: float = 1.0
+
+    def __init__(self, op, *args, **kwargs) -> None:
+        super().__init__(op, *args, **kwargs)
+        self._outcome = None
+        self._scale = 1.0
+
+    @property
+    def qubit(self) -> int:
+        return self.op.qubit
+
+    @property
+    def outcome(self) -> Optional[int]:
+        """The most recently drawn outcome (``None`` before first execution)."""
+        return self._outcome
+
+    def partition_specs(self) -> List[PartitionSpec]:
+        return matvec_partitions(self.qubit_count, self.block_size)
+
+    def writes_all_blocks(self) -> bool:
+        return True
+
+    def reads_all_blocks(self) -> bool:
+        return True
+
+    def prepare(self, reader: StateReader) -> None:
+        if self.record is None:
+            raise RuntimeError(f"dynamic stage {self!r} has no outcome record bound")
+        p0, p1 = measured_masses(reader, self.qubit, self.dim, self.block_size)
+        outcome = self.record.choose(self.op.op_index, p0, p1)
+        mass = p1 if outcome else p0
+        self._outcome = outcome
+        self._scale = 1.0 / math.sqrt(mass)
+        self._record_outcome(outcome)
+
+    def _record_outcome(self, outcome: int) -> None:
+        pass
+
+    def block_tasks(self, reader: StateReader, block_range: BlockRange):
+        # Executed strictly after prepare() (the sync node precedes every
+        # partition), so the drawn outcome and scale are final here.
+        qubit = self.qubit
+        outcome = self._outcome
+        scale = self._scale
+        move = self._move
+        store = self.store
+        if outcome is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"{self!r} executed before its prepare()")
+
+        def make(lo: int, hi: int):
+            def body() -> None:
+                collapse_run(
+                    reader, store, lo, hi, qubit, outcome, scale, move=move
+                )
+
+            return body
+
+        return self._run_tasks(make, block_range)
+
+
+class MeasureStage(_CollapseStage):
+    """Mid-circuit projective Z measurement of one qubit into a clbit."""
+
+    kind = "measure"
+    _move = False
+
+    def _record_outcome(self, outcome: int) -> None:
+        self.record.set_bit(self.op.clbit, outcome)
+
+
+class ResetStage(_CollapseStage):
+    """Reset one qubit to |0>: projective measurement plus conditional flip."""
+
+    kind = "reset"
+    _move = True
+
+
+class ClassicallyControlledStage(DynamicStage):
+    """A unitary applied only when the outcome record satisfies a condition.
+
+    The condition is evaluated at *execution* time, after every preceding
+    stage (in particular the controlling measurements) has run -- partition
+    dependencies guarantee the ordering.  When the inner gate is
+    non-superposition the stage reuses its partition layout and applies the
+    classified action (or an identity copy of the partition's blocks when
+    the condition fails); a superposition inner gate falls back to the
+    matrix--vector layout with a full-vector ``prepare``.
+
+    Condition bits are read *as of this stage's program point*, not from the
+    final classical register: the owning simulator installs a lookup
+    (:meth:`bind_clbit_lookup`) resolving each bit to the outcome of the
+    latest measurement that both writes it and precedes this stage.  A
+    partial re-execution therefore never sees a value a *later* measurement
+    left behind on a previous trajectory pass -- the semantics a
+    from-scratch run of the same circuit would produce.
+    """
+
+    kind = "c_if"
+    #: simulator-installed ``(bit, before_seq) -> 0/1`` program-point lookup;
+    #: ``None`` (standalone/unit-test use) falls back to the final register
+    _clbit_lookup = None
+
+    def __init__(
+        self,
+        op: CGate,
+        qubit_count: int,
+        block_size: int,
+        copy_on_write: bool = True,
+        record: Optional[OutcomeRecord] = None,
+    ) -> None:
+        super().__init__(op, qubit_count, block_size, copy_on_write, record)
+        self.gate = op.gate
+        self.action: Action = self.gate.action()
+        self.qubits: Tuple[int, ...] = tuple(self.gate.qubits)
+        if self.action.creates_superposition:
+            self._specs = matvec_partitions(qubit_count, block_size)
+        else:
+            # Condition-false executions must rewrite the same blocks the
+            # condition-true layout writes (identity copies), so the layout
+            # -- and with it the graph topology -- is condition-independent.
+            self._specs = derive_partitions(
+                self.action, self.qubits, qubit_count, block_size
+            )
+        self._prepared: Optional[np.ndarray] = None
+
+    def clone_for_fork(self) -> "ClassicallyControlledStage":
+        clone = super().clone_for_fork()
+        # share the immutable classification work instead of re-deriving
+        clone.gate = self.gate
+        clone.action = self.action
+        clone.qubits = self.qubits
+        clone._specs = self._specs
+        clone._prepared = None
+        return clone
+
+    def bind_clbit_lookup(self, lookup) -> None:
+        """Install the simulator's program-point clbit resolver."""
+        self._clbit_lookup = lookup
+
+    def condition_met(self) -> bool:
+        if self._clbit_lookup is not None:
+            value = 0
+            for j, bit in enumerate(self.op.condition_bits):
+                value |= self._clbit_lookup(bit, self.seq) << j
+            return value == self.op.condition_value
+        if self.record is None:
+            raise RuntimeError(f"dynamic stage {self!r} has no outcome record bound")
+        return (
+            self.record.value_of(self.op.condition_bits) == self.op.condition_value
+        )
+
+    def partition_specs(self) -> List[PartitionSpec]:
+        return list(self._specs)
+
+    def writes_all_blocks(self) -> bool:
+        return self.action.creates_superposition
+
+    def reads_all_blocks(self) -> bool:
+        return self.action.creates_superposition
+
+    def prepare(self, reader: StateReader) -> None:
+        self._prepared = None
+        if not self.action.creates_superposition:
+            return
+        state = reader.full_vector()
+        if self.condition_met():
+            state = apply_gate_dense(state, self.gate, self.qubit_count)
+        self._prepared = state
+
+    def block_tasks(self, reader: StateReader, block_range: BlockRange):
+        store = self.store
+
+        if self.action.creates_superposition:
+            prepared = self._prepared
+            if prepared is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"{self!r} executed before its prepare()")
+
+            def make_copy(lo: int, hi: int):
+                def body() -> None:
+                    store.write_range(lo, prepared[lo : hi + 1], copy=False)
+
+                return body
+
+            return self._run_tasks(make_copy, block_range)
+
+        qubits = self.qubits
+        action = self.action
+        if self.condition_met():
+
+            def make(lo: int, hi: int):
+                def body() -> None:
+                    apply_action_run(reader, store, lo, hi, qubits, action)
+
+                return body
+
+            return self._run_tasks(make, block_range)
+
+        def make_identity(lo: int, hi: int):
+            def body() -> None:
+                # read_range returns a fresh array, safe to adopt zero-copy
+                store.write_range(lo, reader.read_range(lo, hi), copy=False)
+
+            return body
+
+        return self._run_tasks(make_identity, block_range)

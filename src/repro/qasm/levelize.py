@@ -5,6 +5,12 @@ a net per level and insert all parallel gates at that level to the net"
 (§IV.B).  :func:`levelize` performs the classic ASAP scheduling that computes
 those levels from a flat gate list, and :func:`levels_to_circuit` loads the
 levels into a :class:`~repro.core.circuit.Circuit`.
+
+Dynamic operations participate with an extended dependency rule: beyond the
+qubits they act on, operations that *touch* classical bits (measurements
+write them, classically-conditioned gates read them) are serialised per
+clbit, so a conditioned gate always lands on a level strictly after the
+measurement that feeds its condition -- even when their qubits are disjoint.
 """
 
 from __future__ import annotations
@@ -13,20 +19,29 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..core.circuit import Circuit
 from ..core.gates import Gate
+from ..core.ops import op_clbits_read, op_clbits_written
 from .parser import ParsedProgram
 
 __all__ = ["levelize", "levels_to_circuit", "program_to_circuit"]
 
 
-def levelize(gates: Sequence[Gate], *, barriers: Optional[Sequence[int]] = None) -> List[List[Gate]]:
-    """ASAP-schedule gates into levels (nets).
+def _touched_clbits(op) -> List[int]:
+    return list(op_clbits_read(op)) + list(op_clbits_written(op))
 
-    A gate is placed at the earliest level strictly after the last level that
-    uses any of its qubits.  Optional ``barriers`` (gate indices) force every
-    later gate to start on a fresh level, mirroring OpenQASM ``barrier``.
+
+def levelize(
+    gates: Sequence[object], *, barriers: Optional[Sequence[int]] = None
+) -> List[List[object]]:
+    """ASAP-schedule operations into levels (nets).
+
+    An operation is placed at the earliest level strictly after the last
+    level that uses any of its qubits *or classical bits*.  Optional
+    ``barriers`` (gate indices) force every later operation to start on a
+    fresh level, mirroring OpenQASM ``barrier``.
     """
-    levels: List[List[Gate]] = []
+    levels: List[List[object]] = []
     qubit_level: dict[int, int] = {}
+    clbit_level: dict[int, int] = {}
     barrier_floor = 0
     barrier_set = set(barriers or ())
     for i, gate in enumerate(gates):
@@ -35,22 +50,45 @@ def levelize(gates: Sequence[Gate], *, barriers: Optional[Sequence[int]] = None)
         earliest = barrier_floor
         for q in gate.qubits:
             earliest = max(earliest, qubit_level.get(q, 0))
+        clbits = _touched_clbits(gate)
+        for c in clbits:
+            earliest = max(earliest, clbit_level.get(c, 0))
         while len(levels) <= earliest:
             levels.append([])
         levels[earliest].append(gate)
         for q in gate.qubits:
             qubit_level[q] = earliest + 1
+        for c in clbits:
+            clbit_level[c] = earliest + 1
     return [lvl for lvl in levels if lvl]
 
 
-def levels_to_circuit(num_qubits: int, levels: Iterable[Iterable[Gate]]) -> Circuit:
+def levels_to_circuit(
+    num_qubits: int,
+    levels: Iterable[Iterable[object]],
+    *,
+    num_clbits: int = 0,
+) -> Circuit:
     """Build a circuit with one net per level."""
-    circuit = Circuit(num_qubits)
+    circuit = Circuit(num_qubits, num_clbits=num_clbits)
     circuit.from_levels(levels)
     return circuit
 
 
 def program_to_circuit(program: ParsedProgram) -> Circuit:
-    """Levelize a parsed OpenQASM program into a circuit (one net per level)."""
+    """Levelize a parsed OpenQASM program into a circuit (one net per level).
+
+    Classical registers declared by the program are re-declared on the
+    circuit (same names, same bit offsets), so register-conditioned gates
+    and measure targets keep their meaning, and the circuit round-trips
+    through :func:`repro.qasm.to_qasm`.
+    """
     levels = levelize(program.gates, barriers=program.barriers)
-    return levels_to_circuit(program.num_qubits, levels)
+    circuit = Circuit(program.num_qubits)
+    for name, (offset, size) in sorted(
+        program.cregisters.items(), key=lambda kv: kv[1][0]
+    ):
+        reg = circuit.add_classical_register(name, size)
+        assert reg.offset == offset, "creg offsets must mirror the program"
+    circuit.from_levels(levels)
+    return circuit

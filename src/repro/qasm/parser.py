@@ -11,11 +11,16 @@ Supported constructs (enough to consume QASMBench-style circuits):
   register broadcasting (``h q;`` applies H to every qubit of ``q``),
 * user gate definitions ``gate name(params) args { body }`` expanded as
   macros down to built-in gates,
-* ``barrier`` (recorded as level separators), ``measure`` and ``reset``
-  (accepted and ignored -- qTask simulates pure states),
+* ``barrier`` (recorded as level separators),
+* dynamic-circuit operations: ``measure q[i] -> c[j];`` (with register
+  broadcasting), ``reset q[i];`` and classically-conditioned gates
+  ``if (c == k) gate ...;`` -- these emit
+  :class:`~repro.core.ops.MeasureOp` / :class:`~repro.core.ops.ResetOp` /
+  :class:`~repro.core.ops.CGate` entries alongside the unitary gates,
 * ``//`` and ``/* ... */`` comments.
 
-Unsupported constructs (``if``, ``opaque``) raise :class:`QasmSyntaxError`.
+Unsupported constructs (``opaque``, conditioned measure/reset) raise
+:class:`QasmSyntaxError`.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.exceptions import QasmSyntaxError
 from ..core.gates import GATE_REGISTRY, Gate
+from ..core.ops import CGate, MeasureOp, ResetOp
 from .expressions import evaluate_expression
 
 __all__ = ["ParsedProgram", "GateDefinition", "parse_qasm", "parse_qasm_file"]
@@ -71,17 +77,24 @@ class ParsedProgram:
     """Result of parsing an OpenQASM program."""
 
     num_qubits: int
-    gates: List[Gate] = field(default_factory=list)
+    #: unitary gates and dynamic operations (measure/reset/c_if), program order
+    gates: List[object] = field(default_factory=list)
     #: indices into ``gates`` where an explicit ``barrier`` occurred
     barriers: List[int] = field(default_factory=list)
-    #: register name -> (offset, size)
+    #: quantum register name -> (offset, size)
     registers: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: classical register name -> (offset, size)
+    cregisters: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     num_classical_bits: int = 0
     definitions: Dict[str, GateDefinition] = field(default_factory=dict)
 
     @property
     def num_gates(self) -> int:
         return len(self.gates)
+
+    @property
+    def has_dynamic_ops(self) -> bool:
+        return any(isinstance(g, (MeasureOp, ResetOp, CGate)) for g in self.gates)
 
 
 _COMMENT_BLOCK = re.compile(r"/\*.*?\*/", re.DOTALL)
@@ -168,15 +181,21 @@ def parse_qasm(text: str) -> ParsedProgram:
                 offset += size
                 program.num_qubits = offset
             else:
+                program.cregisters[name] = (program.num_classical_bits, size)
                 program.num_classical_bits += size
             continue
         if lowered.startswith("barrier"):
             program.barriers.append(len(program.gates))
             continue
-        if lowered.startswith("measure") or lowered.startswith("reset"):
+        if lowered.startswith("measure"):
+            _emit_measure(stmt, program)
+            continue
+        if lowered.startswith("reset"):
+            _emit_reset(stmt, program)
             continue
         if lowered.startswith("if"):
-            raise QasmSyntaxError(f"classical control is not supported: {stmt!r}")
+            _emit_conditional(stmt, program, definitions)
+            continue
         if lowered.startswith("opaque"):
             raise QasmSyntaxError(f"opaque gates are not supported: {stmt!r}")
         _emit_gate(stmt, program, definitions, {})
@@ -243,6 +262,83 @@ def _resolve_operand(
     if k >= size:
         raise QasmSyntaxError(f"index {k} out of range for register {reg}[{size}]")
     return [offset + k]
+
+
+def _resolve_clbit_operand(token: str, program: ParsedProgram) -> List[int]:
+    """Resolve ``c[3]`` to [index] or a bare creg ``c`` to all its clbits."""
+    m = _OPERAND.match(token.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed classical operand {token!r}")
+    reg, _, idx = m.group(1), m.group(2), m.group(3)
+    if reg not in program.cregisters:
+        raise QasmSyntaxError(f"unknown classical register {reg!r}")
+    offset, size = program.cregisters[reg]
+    if idx is None:
+        return [offset + k for k in range(size)]
+    k = int(idx)
+    if k >= size:
+        raise QasmSyntaxError(f"index {k} out of range for register {reg}[{size}]")
+    return [offset + k]
+
+
+_MEASURE = re.compile(r"^measure\s+(.+?)\s*->\s*(.+)$", re.IGNORECASE)
+_RESET = re.compile(r"^reset\s+(.+)$", re.IGNORECASE)
+_IF = re.compile(
+    r"^if\s*\(\s*([A-Za-z_][\w]*)\s*==\s*(\d+)\s*\)\s*(.+)$", re.IGNORECASE
+)
+
+
+def _emit_measure(stmt: str, program: ParsedProgram) -> None:
+    m = _MEASURE.match(stmt.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed measure statement {stmt!r}")
+    qubits = _resolve_operand(m.group(1), program)
+    clbits = _resolve_clbit_operand(m.group(2), program)
+    if len(qubits) != len(clbits):
+        raise QasmSyntaxError(
+            f"measure broadcast mismatch: {len(qubits)} qubit(s) -> "
+            f"{len(clbits)} clbit(s) in {stmt!r}"
+        )
+    for q, c in zip(qubits, clbits):
+        program.gates.append(MeasureOp(q, c))
+
+
+def _emit_reset(stmt: str, program: ParsedProgram) -> None:
+    m = _RESET.match(stmt.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed reset statement {stmt!r}")
+    for q in _resolve_operand(m.group(1), program):
+        program.gates.append(ResetOp(q))
+
+
+def _emit_conditional(
+    stmt: str,
+    program: ParsedProgram,
+    definitions: Mapping[str, GateDefinition],
+) -> None:
+    m = _IF.match(stmt.strip())
+    if not m:
+        raise QasmSyntaxError(f"malformed if statement {stmt!r}")
+    reg, value, inner = m.group(1), int(m.group(2)), m.group(3).strip()
+    if reg not in program.cregisters:
+        raise QasmSyntaxError(f"unknown classical register {reg!r} in {stmt!r}")
+    offset, size = program.cregisters[reg]
+    if value >= (1 << size):
+        raise QasmSyntaxError(
+            f"condition value {value} out of range for {reg}[{size}]"
+        )
+    lowered = inner.lower()
+    if lowered.startswith(("measure", "reset", "if", "barrier")):
+        raise QasmSyntaxError(
+            f"only gate applications can be conditioned: {stmt!r}"
+        )
+    bits = tuple(range(offset, offset + size))
+    # A macro body may expand to several gates; the condition (being purely
+    # classical) distributes over each expanded gate unchanged.
+    start = len(program.gates)
+    _emit_gate(inner, program, definitions, {})
+    for i in range(start, len(program.gates)):
+        program.gates[i] = CGate(program.gates[i], bits, value)
 
 
 def _emit_gate(

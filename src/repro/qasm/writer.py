@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..core.circuit import Circuit
+from ..core.exceptions import QasmSyntaxError
 from ..core.gates import Gate
+from ..core.ops import CGate, MeasureOp, ResetOp, op_clbits_read, op_clbits_written
 
 __all__ = ["to_qasm"]
 
@@ -20,28 +22,107 @@ def _format_gate(gate: Gate) -> str:
     return f"{gate.name}{params} {operands};"
 
 
-def to_qasm(circuit_or_levels: Union[Circuit, Sequence[Iterable[Gate]]],
+def _clbit_name(circuit: Optional[Circuit], clbit: int) -> str:
+    """Register-relative name of a classical bit (``c[i]`` when anonymous)."""
+    if circuit is not None:
+        for reg in circuit.classical_registers():
+            if reg.offset <= clbit < reg.offset + reg.size:
+                return f"{reg.name}[{clbit - reg.offset}]"
+    return f"c[{clbit}]"
+
+
+def _condition_register(
+    circuit: Optional[Circuit],
+    op: CGate,
+    fallback_bits: tuple = (),
+) -> str:
+    """The register name whose bits exactly match the condition bits.
+
+    OpenQASM 2.0 conditions compare a *whole* classical register, so a
+    condition must cover either a declared register or the anonymous
+    fallback register ``c`` the writer emits (``fallback_bits``) exactly;
+    arbitrary bit subsets cannot be expressed and raise.
+    """
+    if circuit is not None:
+        for reg in circuit.classical_registers():
+            if reg.bits == op.condition_bits:
+                return reg.name
+    if fallback_bits and op.condition_bits == fallback_bits:
+        return "c"
+    raise QasmSyntaxError(
+        f"condition bits {op.condition_bits} do not form a declared classical "
+        "register; OpenQASM 2.0 cannot express bit-subset conditions"
+    )
+
+
+def _format_op(op, circuit: Optional[Circuit], fallback_bits: tuple = ()) -> str:
+    if isinstance(op, Gate):
+        return _format_gate(op)
+    if isinstance(op, MeasureOp):
+        return f"measure q[{op.qubit}] -> {_clbit_name(circuit, op.clbit)};"
+    if isinstance(op, ResetOp):
+        return f"reset q[{op.qubit}];"
+    if isinstance(op, CGate):
+        reg = _condition_register(circuit, op, fallback_bits)
+        return f"if({reg}=={op.condition_value}) " + _format_gate(op.gate)
+    raise QasmSyntaxError(f"cannot serialise operation {op!r}")
+
+
+def to_qasm(circuit_or_levels: Union[Circuit, Sequence[Iterable[object]]],
             num_qubits: int | None = None) -> str:
     """Render a circuit (or a list of gate levels) as OpenQASM 2.0 source.
 
     Nets/levels are separated by ``barrier`` statements so a round trip
     through :func:`repro.qasm.parse_qasm` + :func:`repro.qasm.levelize`
-    reconstructs the same level structure.
+    reconstructs the same level structure.  Dynamic operations serialise to
+    ``measure``/``reset``/``if (reg == k)`` statements; the circuit's
+    declared classical registers are emitted as ``creg`` lines (anonymous
+    clbits fall back to one ``creg c[...]`` covering them).
     """
+    circuit: Optional[Circuit] = None
     if isinstance(circuit_or_levels, Circuit):
-        num_qubits = circuit_or_levels.num_qubits
-        levels: List[List[Gate]] = [
-            [h.gate for h in net.gates] for net in circuit_or_levels.nets() if net.gates
+        circuit = circuit_or_levels
+        num_qubits = circuit.num_qubits
+        levels: List[List[object]] = [
+            [h.gate for h in net.gates] for net in circuit.nets() if net.gates
         ]
     else:
         if num_qubits is None:
             raise ValueError("num_qubits is required when passing raw levels")
         levels = [list(level) for level in circuit_or_levels]
 
-    lines = [_HEADER, f"qreg q[{num_qubits}];", f"creg c[{num_qubits}];"]
+    lines = [_HEADER, f"qreg q[{num_qubits}];"]
+    fallback_bits: tuple = ()
+    if circuit is not None and circuit.num_clbits > 0:
+        regs = circuit.classical_registers()
+        anonymous = circuit.num_clbits - sum(r.size for r in regs)
+        if anonymous > 0:
+            # constructor-declared bits occupy the low indices, before any
+            # named register; emit them as one anonymous register, which
+            # whole-register conditions may then reference as ``c``
+            if any(r.name == "c" for r in regs):
+                raise QasmSyntaxError(
+                    "cannot emit anonymous clbits: register name 'c' is taken"
+                )
+            lines.append(f"creg c[{anonymous}];")
+            fallback_bits = tuple(range(anonymous))
+        for reg in regs:
+            lines.append(f"creg {reg.name}[{reg.size}];")
+    else:
+        # raw levels (or a clbit-free circuit): size the fallback register
+        # to cover every clbit the operations actually touch, so the output
+        # re-parses even when a measure targets c[i] with i >= num_qubits
+        max_clbit = -1
+        for level in levels:
+            for op in level:
+                for c in (*op_clbits_read(op), *op_clbits_written(op)):
+                    max_clbit = max(max_clbit, c)
+        fallback_size = max(num_qubits, max_clbit + 1)
+        lines.append(f"creg c[{fallback_size}];")
+        fallback_bits = tuple(range(fallback_size))
     for i, level in enumerate(levels):
         if i > 0:
             lines.append("barrier q;")
-        for gate in level:
-            lines.append(_format_gate(gate))
+        for op in level:
+            lines.append(_format_op(op, circuit, fallback_bits))
     return "\n".join(lines) + "\n"

@@ -27,12 +27,13 @@ import numpy as np
 
 from .core.blocks import DEFAULT_BLOCK_SIZE
 from .core.circuit import Circuit, GateHandle, NetHandle
+from .core.classical import ClassicalRegister, OutcomeRecord
 from .core.cow import MemoryReport
 from .core.exceptions import CircuitError, StaleHandleError
 from .core.gates import Gate
 from .core.simulator import QTaskSimulator, UpdateReport
 from .observables.pauli import PauliLike
-from .parallel import Executor
+from .parallel import Executor, SequentialExecutor
 
 __all__ = ["QTask"]
 
@@ -44,6 +45,7 @@ class QTask:
         self,
         num_qubits: int,
         *,
+        num_clbits: int = 0,
         block_size: int = DEFAULT_BLOCK_SIZE,
         num_workers: Optional[int] = None,
         executor: Optional[Executor] = None,
@@ -52,8 +54,9 @@ class QTask:
         max_fused_qubits: int = 4,
         block_directory: bool = True,
         observable_cache: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
-        self.circuit = Circuit(num_qubits)
+        self.circuit = Circuit(num_qubits, num_clbits=num_clbits)
         self.simulator = QTaskSimulator(
             self.circuit,
             block_size=block_size,
@@ -64,6 +67,7 @@ class QTask:
             max_fused_qubits=max_fused_qubits,
             block_directory=block_directory,
             observable_cache=observable_cache,
+            seed=seed,
         )
         #: parent handle uid -> this session's handle (forked sessions only)
         self._fork_gate_map: Optional[Dict[int, GateHandle]] = None
@@ -189,6 +193,128 @@ class QTask:
             ckt.update_state()           # incremental re-simulation
         """
         return self.circuit.update_gate(handle, *params)
+
+    # -- dynamic circuits (Table II extensions) --------------------------------
+
+    @property
+    def num_clbits(self) -> int:
+        return self.circuit.num_clbits
+
+    def add_classical_register(self, name: str, size: int) -> ClassicalRegister:
+        """Declare ``size`` new classical bits under ``name``."""
+        return self.circuit.add_classical_register(name, size)
+
+    def creg(self, name: str) -> ClassicalRegister:
+        """Look up a declared classical register by name."""
+        return self.circuit.creg(name)
+
+    def measure(self, net: NetHandle, qubit: int, clbit: int) -> GateHandle:
+        """Measure ``qubit`` (Z basis) into classical bit ``clbit``.
+
+        The measurement is a first-class circuit operation: the next
+        :meth:`update_state` collapses and renormalises the state block-wise
+        at that point of the circuit, writes the observed bit into
+        :attr:`outcomes`, and invalidates downstream incremental caches
+        exactly like a gate update at the same depth.
+        """
+        return self.circuit.insert_measure(net, qubit, clbit)
+
+    def reset(self, net: NetHandle, qubit: int) -> GateHandle:
+        """Reset ``qubit`` to |0> (projective measurement + conditional flip)."""
+        return self.circuit.insert_reset(net, qubit)
+
+    def c_if(
+        self,
+        gate: Union[Gate, str],
+        net: NetHandle,
+        *qubits: int,
+        params: Sequence[float] = (),
+        condition: Tuple[object, int],
+    ) -> GateHandle:
+        """Insert a classically-conditioned gate (``if (c == k) gate ...``).
+
+        ``condition`` is ``(bits, value)``: a
+        :class:`~repro.core.classical.ClassicalRegister` (or explicit clbit
+        sequence, LSB first) compared against the integer ``value`` at
+        execution time::
+
+            c = ckt.add_classical_register("c", 1)
+            ckt.measure(net1, q0, c[0])
+            ckt.c_if("x", net2, q1, condition=(c, 1))   # X iff c == 1
+        """
+        return self.circuit.insert_cgate(
+            gate, net, *qubits, params=params, condition=condition
+        )
+
+    @property
+    def outcomes(self) -> OutcomeRecord:
+        """This session's classical state (bits, outcomes, trajectory seed)."""
+        return self.simulator.outcomes
+
+    def classical_value(self, bits) -> int:
+        """The integer a register (or clbit sequence) currently holds."""
+        if isinstance(bits, ClassicalRegister):
+            bits = bits.bits
+        return self.simulator.outcomes.value_of(bits)
+
+    def run_shots(
+        self,
+        shots: int,
+        *,
+        seed: Optional[int] = None,
+        num_forks: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Sample ``shots`` trajectories of a dynamic circuit.
+
+        Returns a histogram over the classical register bits (leftmost
+        character = highest clbit), one entry per shot.  Each shot is an
+        independent trajectory: the session is forked copy-on-write (the
+        unitary prefix before the first measurement is computed once and
+        shared across the whole fleet), the fork's keyed randomness is
+        re-seeded with ``(seed, shot_index)``, and only the collapse cone is
+        re-simulated per shot.  Shot outcomes therefore depend only on
+        ``seed`` and the shot index -- never on the fleet size, executor
+        width or scheduling -- and the shots of a fleet run on the session's
+        shared executor in parallel (one fork per worker by default; cap
+        with ``num_forks``).
+        """
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        if self.circuit.num_clbits == 0:
+            raise CircuitError(
+                "run_shots needs classical bits; declare them with "
+                "QTask(num_clbits=...) or add_classical_register()"
+            )
+        if shots == 0:
+            return {}
+        base_seed = OutcomeRecord._materialise_seed(seed)
+        executor = self.simulator.executor
+        workers = max(1, int(getattr(executor, "num_workers", 1)))
+        limit = workers if num_forks is None else max(1, int(num_forks))
+        fleet = min(shots, limit)
+        # Each fork updates on its own sequential executor: one shot is one
+        # coarse task, and the shared pool parallelises across forks.
+        forks = [self.fork(executor=SequentialExecutor()) for _ in range(fleet)]
+        n_clbits = self.circuit.num_clbits
+
+        def run_chunk(fork_id: int) -> List[str]:
+            child = forks[fork_id]
+            out: List[str] = []
+            for shot in range(fork_id, shots, fleet):
+                child.simulator.reset_trajectory((base_seed, shot))
+                child.update_state()
+                out.append(child.outcomes.bitstring(range(n_clbits)))
+            return out
+
+        counts: Dict[str, int] = {}
+        try:
+            for chunk in executor.map(run_chunk, list(range(fleet))):
+                for bits in chunk:
+                    counts[bits] = counts.get(bits, 0) + 1
+        finally:
+            for child in forks:
+                child.close()
+        return counts
 
     # -- state update -------------------------------------------------------------
 

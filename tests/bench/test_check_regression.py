@@ -1,0 +1,154 @@
+"""In-suite tests for the CI regression gate (benchmarks/check_regression.py).
+
+The acceptance bar: the checker must exit non-zero when fed a synthetically
+degraded BENCH json, and pass on a faithful one.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "benchmarks", "check_regression.py")
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+@pytest.fixture()
+def chain_entry():
+    manifest = checker.load_manifest(
+        os.path.join(REPO_ROOT, "benchmarks", "manifest.json")
+    )
+    by_name = {e["name"]: e for e in manifest["benchmarks"]}
+    return by_name["chain_depth"]
+
+
+@pytest.fixture()
+def baseline():
+    with open(os.path.join(REPO_ROOT, "BENCH_chain_depth.json")) as fh:
+        return json.load(fh)
+
+
+class TestCompareEntry:
+    def test_identical_json_passes(self, chain_entry, baseline):
+        assert checker.compare_entry(chain_entry, baseline, dict(baseline)) == []
+
+    def test_failed_correctness_gate_trips(self, chain_entry, baseline):
+        fresh = dict(baseline)
+        fresh["passed"] = False
+        failures = checker.compare_entry(chain_entry, baseline, fresh)
+        assert any("correctness gate" in f for f in failures)
+
+    def test_accuracy_regression_trips(self, chain_entry, baseline):
+        fresh = dict(baseline)
+        fresh["amplitude_max_abs_diff"] = 1e-6  # way above the 1e-9 floor
+        failures = checker.compare_entry(chain_entry, baseline, fresh)
+        assert any("amplitude_max_abs_diff" in f for f in failures)
+
+    def test_small_jitter_under_floor_passes(self, chain_entry, baseline):
+        fresh = dict(baseline)
+        fresh["amplitude_max_abs_diff"] = 5e-10  # below the absolute floor
+        assert checker.compare_entry(chain_entry, baseline, fresh) == []
+
+    def test_thirty_percent_tolerance(self, chain_entry):
+        base = {"passed": True, "amplitude_max_abs_diff": 1e-7,
+                "state_max_abs_diff": 0.0}
+        ok = dict(base, amplitude_max_abs_diff=1.2e-7)       # +20%: fine
+        bad = dict(base, amplitude_max_abs_diff=1.4e-7)      # +40%: regression
+        assert checker.compare_entry(chain_entry, base, ok) == []
+        failures = checker.compare_entry(chain_entry, base, bad)
+        assert len(failures) == 1
+
+    def test_missing_metric_trips(self, chain_entry, baseline):
+        fresh = dict(baseline)
+        del fresh["state_max_abs_diff"]
+        failures = checker.compare_entry(chain_entry, baseline, fresh)
+        assert any("missing metric" in f for f in failures)
+
+    def test_no_baseline_gates_on_floor(self, chain_entry):
+        fresh = {"passed": True, "amplitude_max_abs_diff": 0.0,
+                 "state_max_abs_diff": 2e-9}
+        failures = checker.compare_entry(chain_entry, None, fresh)
+        assert any("state_max_abs_diff" in f for f in failures)
+
+    def test_wallclock_is_informational(self, chain_entry, baseline):
+        fresh = dict(baseline)
+        fresh["speedup"] = 0.01  # catastrophic slowdown: still not a gate
+        assert checker.compare_entry(chain_entry, baseline, fresh) == []
+        lines = checker.wallclock_report(chain_entry, baseline, fresh)
+        assert any("speedup" in line for line in lines)
+
+
+class TestMainExitCodes:
+    def _write(self, tmp_path, payload, name="fresh.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_degraded_json_exits_nonzero(self, tmp_path, baseline):
+        degraded = dict(baseline)
+        degraded["amplitude_max_abs_diff"] = 1e-3
+        degraded["passed"] = False
+        fresh = self._write(tmp_path, degraded)
+        rc = checker.main(["--only", "chain_depth", "--fresh", f"chain_depth={fresh}"])
+        assert rc == 1
+
+    def test_faithful_json_exits_zero(self, tmp_path, baseline):
+        fresh = self._write(tmp_path, dict(baseline))
+        rc = checker.main(["--only", "chain_depth", "--fresh", f"chain_depth={fresh}"])
+        assert rc == 0
+
+    def test_informational_never_fails(self, tmp_path, baseline):
+        degraded = dict(baseline)
+        degraded["passed"] = False
+        fresh = self._write(tmp_path, degraded)
+        rc = checker.main([
+            "--only", "chain_depth", "--fresh", f"chain_depth={fresh}",
+            "--informational",
+        ])
+        assert rc == 0
+
+    def test_missing_fresh_file_fails(self, tmp_path):
+        rc = checker.main([
+            "--only", "chain_depth",
+            "--fresh", f"chain_depth={tmp_path}/does_not_exist.json",
+        ])
+        assert rc == 1
+
+
+class TestManifest:
+    def test_manifest_covers_all_committed_baselines(self):
+        manifest = checker.load_manifest(
+            os.path.join(REPO_ROOT, "benchmarks", "manifest.json")
+        )
+        listed = {e["baseline"] for e in manifest["benchmarks"]}
+        committed = {
+            f for f in os.listdir(REPO_ROOT)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        }
+        assert committed == listed
+
+    def test_manifest_scripts_exist_and_disarm_speedup(self):
+        manifest = checker.load_manifest(
+            os.path.join(REPO_ROOT, "benchmarks", "manifest.json")
+        )
+        for entry in manifest["benchmarks"]:
+            assert os.path.exists(os.path.join(REPO_ROOT, entry["script"]))
+            args = entry.get("args", [])
+            # min-speedup 0 makes the benchmark's own `passed` accuracy-only
+            assert "--min-speedup" in args
+            assert args[args.index("--min-speedup") + 1] == "0"
+            assert entry.get("accuracy_metrics"), entry["name"]

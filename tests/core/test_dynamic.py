@@ -1,0 +1,652 @@
+"""Unit tests for dynamic circuits: measure, reset, classical control."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import QTask
+from repro.baselines.dense import DenseReferenceSimulator
+from repro.core.circuit import Circuit
+from repro.core.classical import ClassicalRegister, OutcomeRecord
+from repro.core.cow import BlockStore
+from repro.core.exceptions import CircuitError, NetDependencyError
+from repro.core.gates import Gate
+from repro.core.kernels import ArrayReader, collapse_run, measured_masses
+from repro.core.ops import CGate, MeasureOp, ResetOp, is_dynamic_op
+from repro.core.simulator import QTaskSimulator
+
+
+# ---------------------------------------------------------------------------
+# OutcomeRecord
+# ---------------------------------------------------------------------------
+
+
+class TestOutcomeRecord:
+    def test_keyed_draws_are_deterministic(self):
+        a = OutcomeRecord(2, seed=7)
+        b = OutcomeRecord(2, seed=7)
+        outcomes_a = [a.choose(i, 0.5, 0.5) for i in range(20)]
+        outcomes_b = [b.choose(i, 0.5, 0.5) for i in range(20)]
+        assert outcomes_a == outcomes_b
+        assert set(outcomes_a) == {0, 1}  # not constant for 20 fair draws
+
+    def test_draw_order_independent_of_other_ops(self):
+        # op 5's first draw is the same whether or not op 3 ever drew
+        a = OutcomeRecord(1, seed=11)
+        b = OutcomeRecord(1, seed=11)
+        a.choose(3, 0.5, 0.5)
+        assert a.choose(5, 0.5, 0.5) == b.choose(5, 0.5, 0.5)
+
+    def test_deterministic_masses_ignore_randomness(self):
+        rec = OutcomeRecord(1, seed=0)
+        assert rec.choose(0, 1.0, 0.0) == 0
+        assert rec.choose(1, 0.0, 1.0) == 1
+
+    def test_zero_total_mass_raises(self):
+        rec = OutcomeRecord(1, seed=0)
+        with pytest.raises(ValueError):
+            rec.choose(0, 0.0, 0.0)
+
+    def test_forced_outcomes_win(self):
+        rec = OutcomeRecord(1, seed=3, forced={0: 1})
+        assert rec.choose(0, 1.0, 0.0) == 1  # would be 0 by mass
+        assert rec.outcome_of(0) == 1
+
+    def test_bits_and_values(self):
+        rec = OutcomeRecord(3)
+        rec.set_bit(0, 1)
+        rec.set_bit(2, 1)
+        assert rec.value_of((0, 1, 2)) == 0b101
+        assert rec.bitstring(range(3)) == "101"
+        assert rec.get_bit(1) == 0
+
+    def test_reseed_clears_state(self):
+        rec = OutcomeRecord(1, seed=1)
+        rec.set_bit(0, 1)
+        rec.choose(0, 0.5, 0.5)
+        rec.reseed(2)
+        assert rec.get_bit(0) == 0
+        assert rec.outcome_of(0) is None
+
+    def test_clone_is_independent(self):
+        rec = OutcomeRecord(2, seed=9)
+        rec.set_bit(0, 1)
+        child = rec.clone()
+        child.set_bit(1, 1)
+        assert rec.get_bit(1) == 0
+        assert child.get_bit(0) == 1
+        # the clone re-draws from the start of each keyed stream
+        assert child.choose(0, 0.5, 0.5) == OutcomeRecord(2, seed=9).choose(
+            0, 0.5, 0.5
+        )
+
+    def test_composite_seed_folding(self):
+        a = OutcomeRecord(1, seed=(5, 0))
+        b = OutcomeRecord(1, seed=(5, 1))
+        assert a.seed != b.seed
+
+
+class TestClassicalRegister:
+    def test_bits_and_indexing(self):
+        reg = ClassicalRegister("c", offset=2, size=3)
+        assert reg.bits == (2, 3, 4)
+        assert reg[0] == 2 and reg[2] == 4
+        assert len(reg) == 3
+        with pytest.raises(IndexError):
+            reg[3]
+
+
+# ---------------------------------------------------------------------------
+# circuit-level structure
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitStructure:
+    def test_register_declaration(self):
+        ckt = Circuit(2, num_clbits=1)
+        reg = ckt.add_classical_register("m", 2)
+        assert ckt.num_clbits == 3
+        assert reg.offset == 1 and reg.size == 2
+        assert ckt.creg("m") is reg
+        with pytest.raises(CircuitError):
+            ckt.add_classical_register("m", 1)
+        with pytest.raises(CircuitError):
+            ckt.creg("nope")
+
+    def test_clbit_range_validated(self):
+        ckt = Circuit(2, num_clbits=1)
+        net = ckt.insert_net()
+        with pytest.raises(CircuitError):
+            ckt.insert_measure(net, 0, 5)
+
+    def test_net_invariant_covers_clbits(self):
+        ckt = Circuit(3, num_clbits=2)
+        net = ckt.insert_net()
+        ckt.insert_measure(net, 0, 0)
+        # same clbit, different qubit: still a within-net dependency
+        with pytest.raises(NetDependencyError):
+            ckt.insert_measure(net, 1, 0)
+        # conditioned on the clbit a net-mate writes: dependency too
+        with pytest.raises(NetDependencyError):
+            ckt.insert_cgate("x", net, 2, condition=((0,), 1))
+        # a disjoint clbit is fine
+        ckt.insert_measure(net, 1, 1)
+
+    def test_op_index_program_order_and_clone(self):
+        ckt = Circuit(2, num_clbits=2)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        m0 = ckt.insert_measure(n1, 0, 0)
+        r0 = ckt.insert_reset(n1, 1)
+        c0 = ckt.insert_cgate("x", n2, 1, condition=((0,), 1))
+        assert [h.gate.op_index for h in (m0, r0, c0)] == [0, 1, 2]
+        clone, gate_map, _ = ckt.clone()
+        assert clone.num_clbits == 2
+        assert [h.gate.op_index for h in clone.dynamic_handles()] == [0, 1, 2]
+        # new ops inserted into the clone continue the numbering
+        n3 = clone.insert_net()
+        m = clone.insert_measure(n3, 0, 1)
+        assert m.gate.op_index == 3
+
+    def test_update_gate_rejects_dynamic_ops(self):
+        ckt = Circuit(1, num_clbits=1)
+        net = ckt.insert_net()
+        h = ckt.insert_measure(net, 0, 0)
+        with pytest.raises(CircuitError):
+            ckt.update_gate(h, 0.5)
+
+    def test_cgate_validation(self):
+        with pytest.raises(ValueError):
+            CGate(Gate("x", (0,)), (), 0)
+        with pytest.raises(ValueError):
+            CGate(Gate("x", (0,)), (0, 0), 1)
+        with pytest.raises(ValueError):
+            CGate(Gate("x", (0,)), (0,), 2)
+        with pytest.raises(TypeError):
+            CGate("x", (0,), 0)
+
+    def test_is_dynamic_op(self):
+        assert is_dynamic_op(MeasureOp(0, 0))
+        assert is_dynamic_op(ResetOp(0))
+        assert is_dynamic_op(CGate(Gate("x", (0,)), (0,), 1))
+        assert not is_dynamic_op(Gate("x", (0,)))
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+class TestCollapseKernels:
+    @pytest.mark.parametrize("qubit", [0, 1, 2, 3])
+    @pytest.mark.parametrize("block_size", [2, 4, 16])
+    def test_measured_masses_match_dense(self, np_rng, qubit, block_size):
+        n = 4
+        psi = np_rng.normal(size=1 << n) + 1j * np_rng.normal(size=1 << n)
+        psi /= np.linalg.norm(psi)
+        reader = ArrayReader(psi)
+        p0, p1 = measured_masses(reader, qubit, 1 << n, block_size)
+        idx = np.arange(1 << n)
+        probs = np.abs(psi) ** 2
+        assert p0 == pytest.approx(probs[(idx >> qubit) & 1 == 0].sum(), abs=1e-12)
+        assert p1 == pytest.approx(probs[(idx >> qubit) & 1 == 1].sum(), abs=1e-12)
+        assert p0 + p1 == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("move", [False, True])
+    @pytest.mark.parametrize("outcome", [0, 1])
+    @pytest.mark.parametrize("qubit", [0, 2, 3])
+    def test_collapse_run_matches_dense(self, np_rng, qubit, outcome, move):
+        n = 4
+        dim = 1 << n
+        block_size = 4
+        psi = np_rng.normal(size=dim) + 1j * np_rng.normal(size=dim)
+        psi /= np.linalg.norm(psi)
+        reader = ArrayReader(psi)
+        idx = np.arange(dim)
+        bits = (idx >> qubit) & 1
+        mass = float((np.abs(psi) ** 2)[bits == outcome].sum())
+        scale = 1.0 / math.sqrt(mass)
+        store = BlockStore(dim, block_size)
+        for lo in range(0, dim, block_size):
+            collapse_run(
+                reader, store, lo, lo + block_size - 1, qubit, outcome, scale,
+                move=move,
+            )
+        got = np.concatenate([store.get_block(b) for b in range(dim // block_size)])
+        if not move:
+            expect = np.where(bits == outcome, psi * scale, 0)
+        else:
+            expect = np.zeros_like(psi)
+            keep = bits == 0
+            expect[keep] = psi[idx[keep] | (outcome << qubit)] * scale
+        np.testing.assert_allclose(got, expect, atol=1e-12)
+        assert np.linalg.norm(got) == pytest.approx(1.0, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end collapse semantics
+# ---------------------------------------------------------------------------
+
+
+def build_qtask(n, clbits, **kwargs):
+    kwargs.setdefault("block_size", 4)
+    return QTask(n, num_clbits=clbits, **kwargs)
+
+
+class TestMeasureStage:
+    def test_deterministic_outcome_one(self):
+        ckt = build_qtask(2, 1, seed=0)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("x", n1, 0)
+        ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        assert ckt.outcomes.get_bit(0) == 1
+        np.testing.assert_allclose(np.abs(ckt.state()), [0, 1, 0, 0], atol=1e-12)
+        ckt.close()
+
+    def test_bell_collapse_is_correlated_and_normalised(self):
+        for seed in range(6):
+            ckt = build_qtask(2, 2, seed=seed)
+            n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+            ckt.insert_gate("h", n1, 0)
+            ckt.insert_gate("cx", n2, 0, 1)
+            ckt.measure(n3, 0, 0)
+            ckt.measure(n3, 1, 1)
+            ckt.update_state()
+            b0, b1 = ckt.outcomes.get_bit(0), ckt.outcomes.get_bit(1)
+            assert b0 == b1  # perfectly correlated
+            state = ckt.state()
+            assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-12)
+            expect = np.zeros(4)
+            expect[b0 * 3] = 1.0
+            np.testing.assert_allclose(np.abs(state), expect, atol=1e-12)
+            ckt.close()
+
+    def test_measurement_invalidates_observable_cache(self):
+        ckt = build_qtask(2, 1, seed=2)
+        n1 = ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        ckt.update_state()
+        assert ckt.expectation("IZ") == pytest.approx(0.0, abs=1e-12)
+        n2 = ckt.insert_net()
+        ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        sign = 1.0 - 2.0 * ckt.outcomes.get_bit(0)
+        assert ckt.expectation("IZ") == pytest.approx(sign, abs=1e-12)
+        ckt.close()
+
+
+class TestResetStage:
+    def test_reset_definite_one(self):
+        ckt = build_qtask(1, 0, seed=0)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("x", n1, 0)
+        ckt.reset(n2, 0)
+        ckt.update_state()
+        np.testing.assert_allclose(np.abs(ckt.state()), [1, 0], atol=1e-12)
+        ckt.close()
+
+    def test_reset_entangled_collapses_partner(self):
+        # Bell pair, then reset qubit 0: qubit 1 collapses to the outcome
+        for seed in range(5):
+            ckt = build_qtask(2, 0, seed=seed)
+            n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+            ckt.insert_gate("h", n1, 0)
+            ckt.insert_gate("cx", n2, 0, 1)
+            handle = ckt.reset(n3, 0)
+            ckt.update_state()
+            state = ckt.state()
+            outcome = ckt.outcomes.outcome_of(handle.gate.op_index)
+            expect = np.zeros(4)
+            expect[outcome << 1] = 1.0  # q0 always 0, q1 = outcome
+            np.testing.assert_allclose(np.abs(state), expect, atol=1e-12)
+            ckt.close()
+
+
+class TestClassicalControl:
+    @pytest.mark.parametrize("gate,qubits", [("x", (1,)), ("z", (1,)),
+                                             ("h", (1,)), ("cx", (1, 0))])
+    def test_condition_false_is_identity(self, gate, qubits):
+        ckt = build_qtask(2, 1, seed=0)
+        n1 = ckt.insert_net()
+        # c0 stays 0, condition wants 1: gate must not apply
+        ckt.c_if(gate, n1, *qubits, condition=((0,), 1))
+        ckt.update_state()
+        expect = np.zeros(4)
+        expect[0] = 1.0
+        np.testing.assert_allclose(np.abs(ckt.state()), expect, atol=1e-12)
+        ckt.close()
+
+    @pytest.mark.parametrize("gate,qubits", [("x", (1,)), ("h", (1,)),
+                                             ("cx", (1, 0))])
+    def test_condition_true_applies_gate(self, gate, qubits):
+        ckt = build_qtask(2, 1, seed=0)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        ckt.insert_gate("x", n1, 0)
+        ckt.measure(n2, 0, 0)      # deterministically 1
+        ckt.c_if(gate, n3, *qubits, condition=((0,), 1))
+        ckt.update_state()
+        dense = DenseReferenceSimulator(
+            ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+        )
+        dense.update_state()
+        np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-12)
+        ckt.close()
+
+    def test_register_condition_value(self):
+        # condition over a 2-bit register: applies only when c == 0b10
+        ckt = build_qtask(3, 0, seed=0)
+        c = ckt.add_classical_register("c", 2)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        ckt.insert_gate("x", n1, 1)
+        ckt.measure(n2, 0, c[0])   # 0
+        ckt.measure(n2, 1, c[1])   # 1
+        ckt.c_if("x", n3, 2, condition=(c, 0b10))
+        ckt.update_state()
+        assert ckt.classical_value(c) == 0b10
+        # qubit 2 flipped
+        probs = ckt.probabilities()
+        assert probs[(1 << 2) | (1 << 1)] == pytest.approx(1.0, abs=1e-12)
+        ckt.close()
+
+
+class TestIncrementalDynamics:
+    def test_upstream_edit_recollapses_downstream_only(self):
+        ckt = build_qtask(3, 1, seed=4)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        theta = ckt.insert_gate("ry", n1, 0, params=[0.7])
+        ckt.insert_gate("h", n1, 1)
+        ckt.measure(n2, 0, 0)
+        ckt.c_if("x", n3, 2, condition=((0,), 1))
+        ckt.update_state()
+        for angle in (1.1, 2.3, 0.2):
+            ckt.update_gate(theta, angle)
+            report = ckt.update_state()
+            assert report.was_incremental
+            dense = DenseReferenceSimulator(
+                ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+            )
+            dense.update_state()
+            np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-10)
+        ckt.close()
+
+    def test_downstream_edit_preserves_outcome(self):
+        ckt = build_qtask(3, 1, seed=1)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        ckt.insert_gate("h", n1, 0)
+        m = ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        outcome = ckt.outcomes.outcome_of(m.gate.op_index)
+        # an edit strictly after the measurement must not redraw it
+        ckt.insert_gate("x", n3, 2)
+        report = ckt.update_state()
+        assert report.was_incremental
+        assert ckt.outcomes.outcome_of(m.gate.op_index) == outcome
+        dense = DenseReferenceSimulator(
+            ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+        )
+        dense.update_state()
+        np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-10)
+        ckt.close()
+
+    def test_measure_removal_restores_unitary_state(self):
+        ckt = build_qtask(2, 1, seed=6)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        m = ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        ckt.remove_gate(m)
+        ckt.update_state()
+        np.testing.assert_allclose(
+            np.abs(ckt.state()), [1 / math.sqrt(2), 1 / math.sqrt(2), 0, 0],
+            atol=1e-12,
+        )
+        ckt.close()
+
+
+class TestTrajectoriesAndForks:
+    def test_reset_trajectory_is_reproducible(self):
+        ckt = build_qtask(2, 2, seed=0)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        ckt.insert_gate("h", n1, 1)
+        ckt.measure(n2, 0, 0)
+        ckt.measure(n2, 1, 1)
+        ckt.update_state()
+        seen = []
+        for _ in range(2):
+            ckt.simulator.reset_trajectory(123)
+            ckt.update_state()
+            seen.append(ckt.outcomes.bitstring(range(2)))
+        assert seen[0] == seen[1]
+        ckt.close()
+
+    def test_fork_trajectories_are_isolated(self):
+        ckt = build_qtask(2, 1, seed=3)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        parent_bit = ckt.outcomes.get_bit(0)
+        parent_state = ckt.state()
+        child = ckt.fork()
+        # the fork inherits the parent's classical state verbatim
+        assert child.outcomes.get_bit(0) == parent_bit
+        # re-collapse the fork until it lands on the opposite branch
+        for s in range(20):
+            child.simulator.reset_trajectory((999, s))
+            child.update_state()
+            if child.outcomes.get_bit(0) != parent_bit:
+                break
+        else:  # pragma: no cover - 2^-20 failure probability
+            pytest.fail("fork never drew the opposite outcome")
+        assert ckt.outcomes.get_bit(0) == parent_bit
+        np.testing.assert_allclose(ckt.state(), parent_state, atol=1e-12)
+        assert abs(np.abs(np.vdot(child.state(), parent_state))) < 1e-9
+        child.close()
+        ckt.close()
+
+    def test_run_shots_deterministic_across_fleet_sizes(self):
+        ckt = build_qtask(2, 2, seed=5, num_workers=2)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        ckt.insert_gate("h", n1, 0)
+        ckt.insert_gate("cx", n2, 0, 1)
+        ckt.measure(n3, 0, 0)
+        ckt.measure(n3, 1, 1)
+        counts_a = ckt.run_shots(120, seed=17)
+        counts_b = ckt.run_shots(120, seed=17, num_forks=1)
+        counts_c = ckt.run_shots(120, seed=17, num_forks=3)
+        assert counts_a == counts_b == counts_c
+        assert set(counts_a) <= {"00", "11"}
+        assert sum(counts_a.values()) == 120
+        ckt.close()
+
+    def test_run_shots_requires_clbits(self):
+        ckt = build_qtask(1, 0)
+        with pytest.raises(CircuitError):
+            ckt.run_shots(10)
+        ckt.close()
+
+    def test_run_shots_zero_and_negative(self):
+        ckt = build_qtask(1, 1)
+        assert ckt.run_shots(0) == {}
+        with pytest.raises(ValueError):
+            ckt.run_shots(-1)
+        ckt.close()
+
+
+class TestStatistics:
+    def test_dynamic_stage_count_in_statistics(self):
+        ckt = build_qtask(2, 1)
+        n1 = ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        n2 = ckt.insert_net()
+        m = ckt.measure(n2, 0, 0)
+        stats = ckt.statistics()
+        assert stats["num_dynamic_stages"] == 1
+        ckt.remove_gate(m)
+        assert ckt.statistics()["num_dynamic_stages"] == 0
+        ckt.close()
+
+
+class TestReviewRegressions:
+    """Regressions from the PR's code review, pinned."""
+
+    def test_removed_measure_clears_classical_bit(self):
+        # the stale bit must not keep firing a downstream c_if after the
+        # measurement that wrote it was removed from the circuit
+        for seed in range(8):
+            ckt = build_qtask(2, 1, seed=seed)
+            n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+            ckt.insert_gate("h", n1, 0)
+            m = ckt.measure(n2, 0, 0)
+            ckt.c_if("x", n3, 1, condition=((0,), 1))
+            ckt.update_state()
+            drew_one = ckt.outcomes.get_bit(0) == 1
+            ckt.remove_gate(m)
+            ckt.update_state()
+            assert ckt.outcomes.get_bit(0) == 0
+            dense = DenseReferenceSimulator(
+                ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+            )
+            dense.update_state()
+            np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-10)
+            ckt.close()
+            if drew_one:
+                break
+        else:  # pragma: no cover - 2^-8
+            pytest.fail("never drew outcome 1; test exercised nothing")
+
+    def test_removed_measure_falls_back_to_earlier_writer(self):
+        # two measures of the same clbit: removing the later one restores
+        # the earlier one's recorded outcome
+        ckt = build_qtask(2, 1, seed=0)
+        n1, n2, n3, n4 = (ckt.insert_net() for _ in range(4))
+        ckt.insert_gate("x", n1, 0)
+        first = ckt.measure(n2, 0, 0)       # deterministically 1
+        ckt.insert_gate("x", n3, 0)         # q0 back to |0>
+        second = ckt.measure(n4, 0, 0)      # deterministically 0
+        ckt.update_state()
+        assert ckt.outcomes.get_bit(0) == 0
+        ckt.remove_gate(second)
+        ckt.update_state()
+        assert ckt.outcomes.get_bit(0) == 1  # first measure's outcome again
+        ckt.close()
+
+    def test_all_baselines_run_dynamic_circuits(self):
+        from repro.baselines.generic import QiskitLikeSimulator
+        from repro.baselines.statevector import QulacsLikeSimulator
+        from repro.qasm import parse_qasm
+        from repro.qasm.levelize import program_to_circuit
+
+        prog = parse_qasm(
+            "qreg q[2]; creg c[2]; h q[0]; measure q -> c; if (c==1) x q[1];"
+        )
+        ckt = program_to_circuit(prog)
+        for cls in (QulacsLikeSimulator, QiskitLikeSimulator):
+            sim = cls(ckt)
+            sim.update_state()
+            state = sim.state()
+            assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-10)
+            dense = DenseReferenceSimulator(
+                ckt, forced_outcomes=sim.outcomes.recorded_outcomes()
+            )
+            dense.update_state()
+            np.testing.assert_allclose(state, dense.state(), atol=1e-10)
+            sim.close()
+
+    def test_op_reuse_across_circuits_rejected(self):
+        a = Circuit(1, num_clbits=1)
+        net_a = a.insert_net()
+        handle = a.insert_measure(net_a, 0, 0)
+        b = Circuit(1, num_clbits=1)
+        net_b = b.insert_net()
+        b.insert_measure(net_b, 0, 0)  # takes op_index 0 in b
+        with pytest.raises(CircuitError):
+            b.insert_operation(handle.gate, b.insert_net())
+
+    def test_removed_op_can_be_reinserted(self):
+        ckt = Circuit(1, num_clbits=1)
+        net = ckt.insert_net()
+        handle = ckt.insert_measure(net, 0, 0)
+        op = handle.gate
+        ckt.remove_gate(handle)
+        net2 = ckt.insert_net()
+        again = ckt.insert_operation(op, net2)  # synthesis-loop move
+        assert again.gate.op_index == 0
+
+
+class TestProgramPointConditions:
+    """c_if reads its bits as of its program point, not the final register."""
+
+    def test_cif_before_writer_ignores_previous_pass(self):
+        # the c_if precedes the only measure writing its bit: every
+        # (re-)execution must read 0, even after the measure drew 1
+        for seed in range(10):
+            ckt = build_qtask(2, 1, seed=seed)
+            n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+            ry = ckt.insert_gate("ry", n1, 0, params=[1.2])
+            ckt.c_if("x", n2, 1, condition=((0,), 1))
+            ckt.measure(n3, 0, 0)
+            ckt.update_state()
+            ckt.update_gate(ry, 2.6)
+            ckt.update_state()
+            dense = DenseReferenceSimulator(
+                ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+            )
+            dense.update_state()
+            np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-10)
+            ckt.close()
+
+    def test_removed_writer_does_not_leak_later_writer_value(self):
+        # after removing the earlier measure, the re-executed c_if must not
+        # read the value the *later* measure (same clbit) left behind
+        for seed in range(10):
+            ckt = build_qtask(3, 1, seed=seed)
+            n1, n2, n3, n4 = (ckt.insert_net() for _ in range(4))
+            ckt.insert_gate("h", n1, 0)
+            ckt.insert_gate("h", n1, 2)
+            m1 = ckt.measure(n2, 0, 0)
+            ckt.c_if("x", n3, 1, condition=((0,), 1))
+            ckt.measure(n4, 2, 0)
+            ckt.update_state()
+            ckt.remove_gate(m1)
+            ckt.update_state()
+            dense = DenseReferenceSimulator(
+                ckt.circuit, forced_outcomes=ckt.outcomes.recorded_outcomes()
+            )
+            dense.update_state()
+            np.testing.assert_allclose(ckt.state(), dense.state(), atol=1e-10)
+            ckt.close()
+
+    def test_dense_repeated_passes_start_bits_clean(self):
+        # full re-sim passes are fresh trajectories: a c_if preceding its
+        # bit's only writer reads 0 on every pass
+        ckt = Circuit(2, num_clbits=1)
+        n1, n2, n3 = (ckt.insert_net() for _ in range(3))
+        ckt.insert_gate("h", n1, 0)
+        ckt.insert_cgate("x", n2, 1, condition=((0,), 1))
+        ckt.insert_measure(n3, 0, 0)
+        dense = DenseReferenceSimulator(ckt, seed=0)
+        for _ in range(5):
+            dense.update_state()
+            probs = (np.abs(dense.state()) ** 2).reshape(2, 2).sum(axis=1)
+            assert probs[1] == pytest.approx(0.0, abs=1e-12)  # q1 never flips
+
+    def test_forked_collapse_stage_outcome_is_none(self):
+        from repro.core.stage import MeasureStage
+
+        ckt = build_qtask(1, 1, seed=0)
+        n1, n2 = ckt.insert_net(), ckt.insert_net()
+        ckt.insert_gate("h", n1, 0)
+        ckt.measure(n2, 0, 0)
+        ckt.update_state()
+        child = ckt.fork()
+        stages = [
+            s for s in child.simulator.graph.stages if isinstance(s, MeasureStage)
+        ]
+        assert stages and stages[0].outcome is None
+        child.close()
+        ckt.close()

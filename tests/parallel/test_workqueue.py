@@ -1,0 +1,120 @@
+"""Dedicated coverage for :mod:`repro.parallel.workqueue` (steal deques)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.parallel.workqueue import StealScheduler, WorkDeque
+
+
+class TestWorkDeque:
+    def test_empty_pop_and_steal(self):
+        d = WorkDeque()
+        assert d.pop() is None
+        assert d.steal() is None
+        assert len(d) == 0
+
+    def test_owner_pop_is_lifo(self):
+        d = WorkDeque()
+        for i in range(3):
+            d.push(i)
+        assert [d.pop(), d.pop(), d.pop()] == [2, 1, 0]
+
+    def test_thief_steal_is_fifo(self):
+        d = WorkDeque()
+        for i in range(3):
+            d.push(i)
+        assert [d.steal(), d.steal(), d.steal()] == [0, 1, 2]
+
+    def test_mixed_ends(self):
+        d = WorkDeque()
+        for i in range(4):
+            d.push(i)
+        assert d.steal() == 0   # oldest from the top
+        assert d.pop() == 3     # newest from the bottom
+        assert len(d) == 2
+
+
+class TestStealScheduler:
+    def test_external_push_lands_in_overflow(self):
+        s = StealScheduler(2)
+        s.push("a")                   # no worker: external queue
+        s.push("b", worker=5)         # out-of-range worker: external queue
+        assert s.outstanding() == 2
+        # any worker can take external work
+        assert s.take(1, [1]) in {"a", "b"}
+
+    def test_own_deque_preferred(self):
+        s = StealScheduler(2)
+        s.push("external")
+        s.push("mine", worker=0)
+        assert s.take(0, [1]) == "mine"
+        assert s.take(0, [1]) == "external"
+        assert s.take(0, [1]) is None
+
+    def test_steal_from_victim(self):
+        s = StealScheduler(3)
+        s.push("w2-old", worker=2)
+        s.push("w2-new", worker=2)
+        # worker 0 has nothing: it steals from a victim.  Victim selection is
+        # randomised and may miss in one sweep, so callers retry -- but the
+        # first successful steal must take the victim's *oldest* item.
+        state = [7]
+        item = None
+        for _ in range(32):
+            item = s.take(0, state)
+            if item is not None:
+                break
+        assert item == "w2-old"
+
+    def test_single_worker_never_steals(self):
+        s = StealScheduler(1)
+        assert s.take(0, [1]) is None
+        s.push("x", worker=0)
+        assert s.take(0, [1]) == "x"
+
+    def test_rng_state_advances(self):
+        s = StealScheduler(4)
+        state = [12345]
+        assert s.take(0, state) is None  # full sweep of victims
+        assert state[0] != 12345
+
+    def test_outstanding_counts_everything(self):
+        s = StealScheduler(2)
+        s.push("a", worker=0)
+        s.push("b", worker=1)
+        s.push("c")
+        assert s.outstanding() == 3
+        s.take(0, [1])
+        assert s.outstanding() == 2
+
+    def test_concurrent_drain_is_exact(self):
+        """All pushed items are taken exactly once under contention."""
+        workers = 4
+        per_worker = 200
+        s = StealScheduler(workers)
+        for w in range(workers):
+            for i in range(per_worker):
+                s.push((w, i), worker=w)
+        taken = [[] for _ in range(workers)]
+
+        def drain(w):
+            state = [w + 1]
+            while True:
+                item = s.take(w, state)
+                if item is None:
+                    if s.outstanding() == 0:
+                        return
+                    continue
+                taken[w].append(item)
+
+        threads = [threading.Thread(target=drain, args=(w,)) for w in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [x for chunk in taken for x in chunk]
+        assert len(flat) == workers * per_worker
+        assert len(set(flat)) == len(flat)  # no duplicates

@@ -1,0 +1,138 @@
+"""Dedicated coverage for :mod:`repro.qasm.levelize` (ASAP scheduling)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.gates import Gate
+from repro.core.ops import CGate, MeasureOp, ResetOp
+from repro.qasm import parse_qasm
+from repro.qasm.levelize import levelize, levels_to_circuit, program_to_circuit
+
+from ..conftest import random_gate
+
+
+class TestLevelizeUnitary:
+    def test_empty_input(self):
+        assert levelize([]) == []
+
+    def test_single_gate(self):
+        levels = levelize([Gate("h", (0,))])
+        assert [[g.name for g in lvl] for lvl in levels] == [["h"]]
+
+    def test_asap_packs_disjoint_gates(self):
+        gates = [
+            Gate("h", (0,)),
+            Gate("h", (1,)),
+            Gate("cx", (0, 1)),
+            Gate("x", (2,)),
+        ]
+        levels = levelize(gates)
+        assert [[g.name for g in lvl] for lvl in levels] == [
+            ["h", "h", "x"],
+            ["cx"],
+        ]
+
+    def test_chain_depth_equals_gate_count(self):
+        gates = [Gate("x", (0,)) for _ in range(5)]
+        assert len(levelize(gates)) == 5
+
+    def test_barrier_forces_fresh_level(self):
+        gates = [Gate("h", (0,)), Gate("x", (1,))]
+        assert len(levelize(gates, barriers=[1])) == 2
+        # a barrier *after* every gate adds nothing
+        assert len(levelize(gates, barriers=[2])) == 1
+
+    def test_barrier_floor_applies_to_all_later_gates(self):
+        gates = [Gate("h", (0,)), Gate("x", (1,)), Gate("z", (2,))]
+        levels = levelize(gates, barriers=[1])
+        # both post-barrier gates land on the (same) fresh level
+        assert [[g.name for g in lvl] for lvl in levels] == [["h"], ["x", "z"]]
+
+    def test_level_order_preserves_qubit_program_order(self, rng):
+        gates = []
+        for _ in range(60):
+            gates.append(random_gate(rng, range(5)))
+        levels = levelize(gates)
+        seen = {}
+        flat_order = {}
+        for li, level in enumerate(levels):
+            used = set()
+            for g in level:
+                for q in g.qubits:
+                    assert q not in used  # net invariant per level
+                    used.add(q)
+                    assert seen.get(q, -1) < li  # per-qubit order kept
+                    seen[q] = li
+        # every gate survives levelization exactly once
+        assert sum(len(lvl) for lvl in levels) == len(gates)
+
+
+class TestLevelizeClassicalDeps:
+    def test_conditioned_gate_waits_for_measure(self):
+        # disjoint qubits, but the condition reads the measured clbit
+        ops = [
+            MeasureOp(0, 0),
+            CGate(Gate("x", (1,)), (0,), 1),
+        ]
+        levels = levelize(ops)
+        assert len(levels) == 2
+        assert isinstance(levels[0][0], MeasureOp)
+        assert isinstance(levels[1][0], CGate)
+
+    def test_unrelated_clbits_stay_parallel(self):
+        ops = [MeasureOp(0, 0), MeasureOp(1, 1)]
+        assert len(levelize(ops)) == 1
+
+    def test_two_writers_of_one_clbit_serialise(self):
+        ops = [MeasureOp(0, 0), MeasureOp(1, 0)]
+        assert len(levelize(ops)) == 2
+
+    def test_reader_then_writer_serialise(self):
+        # measure after a conditioned gate on the same clbit must not swap
+        ops = [CGate(Gate("x", (1,)), (0,), 1), MeasureOp(0, 0)]
+        levels = levelize(ops)
+        assert len(levels) == 2
+        assert isinstance(levels[0][0], CGate)
+
+    def test_reset_has_no_classical_deps(self):
+        ops = [MeasureOp(0, 0), ResetOp(1)]
+        assert len(levelize(ops)) == 1
+
+
+class TestLevelsToCircuit:
+    def test_builds_one_net_per_level(self):
+        levels = [[Gate("h", (0,)), Gate("h", (1,))], [Gate("cx", (0, 1))]]
+        ckt = levels_to_circuit(2, levels)
+        assert ckt.num_nets == 2
+        assert ckt.num_gates == 3
+
+    def test_num_clbits_passthrough(self):
+        ckt = levels_to_circuit(2, [[MeasureOp(0, 1)]], num_clbits=2)
+        assert ckt.num_clbits == 2
+        assert ckt.num_dynamic_ops == 1
+
+
+class TestProgramToCircuit:
+    def test_registers_mirrored(self):
+        prog = parse_qasm(
+            "qreg q[2]; creg a[1]; creg b[2];"
+            "h q[0]; measure q[0] -> a[0]; if (b==0) x q[1];"
+        )
+        ckt = program_to_circuit(prog)
+        assert ckt.num_clbits == 3
+        assert ckt.creg("a").offset == 0
+        assert ckt.creg("b").offset == 1
+        assert ckt.num_dynamic_ops == 2
+
+    def test_measure_serialises_against_condition(self):
+        prog = parse_qasm(
+            "qreg q[2]; creg c[1];"
+            "h q[0]; measure q[0] -> c[0]; if (c==1) x q[1];"
+        )
+        ckt = program_to_circuit(prog)
+        # h, then measure, then the conditioned gate: three levels
+        assert ckt.num_nets == 3

@@ -105,10 +105,13 @@ def test_parse_basic_program():
     prog = parse_qasm(BASIC)
     assert prog.num_qubits == 3
     assert prog.num_classical_bits == 3
+    assert prog.cregisters == {"c": (0, 3)}
     names = [g.name for g in prog.gates]
-    assert names == ["h", "cx", "rz", "x"]
+    # `measure q -> c;` broadcasts into one MeasureOp per register bit
+    assert names == ["h", "cx", "rz", "x", "measure", "measure", "measure"]
     assert prog.gates[1].qubits == (0, 2)
     assert prog.gates[2].params[0] == pytest.approx(math.pi / 4)
+    assert [(m.qubit, m.clbit) for m in prog.gates[4:]] == [(0, 0), (1, 1), (2, 2)]
     assert prog.barriers == [3]
 
 
@@ -201,7 +204,7 @@ def test_parse_qasm_file(tmp_path):
     path = tmp_path / "c.qasm"
     path.write_text(BASIC)
     prog = parse_qasm_file(str(path))
-    assert prog.num_gates == 4
+    assert prog.num_gates == 7  # 4 unitaries + 3 broadcast measures
 
 
 # ---------------------------------------------------------------------------
@@ -281,3 +284,141 @@ def test_writer_accepts_circuit_object():
 def test_writer_requires_qubit_count_for_raw_levels():
     with pytest.raises(ValueError):
         to_qasm([[Gate("h", (0,))]])
+
+
+# ---------------------------------------------------------------------------
+# dynamic circuits: parse / write / simulate
+# ---------------------------------------------------------------------------
+
+DYNAMIC = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+if (c==1) x q[2];
+reset q[0];
+measure q[2] -> c[1];
+"""
+
+
+def test_parse_dynamic_ops():
+    from repro.core.ops import CGate, MeasureOp, ResetOp
+
+    prog = parse_qasm(DYNAMIC)
+    kinds = [type(g).__name__ for g in prog.gates]
+    assert kinds == ["Gate", "Gate", "MeasureOp", "CGate", "ResetOp", "MeasureOp"]
+    assert prog.has_dynamic_ops
+    measure = prog.gates[2]
+    assert (measure.qubit, measure.clbit) == (0, 0)
+    cond = prog.gates[3]
+    assert cond.gate.name == "x"
+    assert cond.condition_bits == (0, 1)
+    assert cond.condition_value == 1
+    assert isinstance(prog.gates[4], ResetOp)
+    assert prog.cregisters == {"c": (0, 2)}
+
+
+def test_parse_measure_broadcast_and_errors():
+    prog = parse_qasm("qreg q[2]; creg c[2]; measure q -> c;")
+    assert [(m.qubit, m.clbit) for m in prog.gates] == [(0, 0), (1, 1)]
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[2]; creg c[1]; measure q -> c;")   # size mismatch
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[1]; creg c[1]; measure q[0] -> d[0];")  # unknown creg
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[1]; creg c[1]; measure q[0];")     # missing target
+
+
+def test_parse_conditional_errors():
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[1]; creg c[1]; if (c==2) x q[0];")  # value too wide
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[1]; creg c[1]; if (c==0) measure q[0] -> c[0];")
+    with pytest.raises(QasmSyntaxError):
+        parse_qasm("qreg q[1]; if (d==0) x q[0];")             # unknown creg
+
+
+def test_parse_conditional_macro_distributes():
+    # a conditioned user-gate expands to one CGate per body gate
+    from repro.core.ops import CGate
+
+    prog = parse_qasm(
+        "gate pair a,b { x a; z b; } "
+        "qreg q[2]; creg c[1]; if (c==1) pair q[0],q[1];"
+    )
+    assert all(isinstance(g, CGate) for g in prog.gates)
+    assert [g.gate.name for g in prog.gates] == ["x", "z"]
+
+
+def test_dynamic_roundtrip_through_writer():
+    prog = parse_qasm(DYNAMIC)
+    ckt = program_to_circuit(prog)
+    text = to_qasm(ckt)
+    prog2 = parse_qasm(text)
+    assert [str(g) for g in prog2.gates] == [str(g) for g in prog.gates]
+    assert prog2.cregisters == prog.cregisters
+
+
+def test_writer_emits_registers_and_conditions():
+    from repro.core.circuit import Circuit
+
+    ckt = Circuit(2)
+    reg = ckt.add_classical_register("syndrome", 2)
+    n1, n2 = ckt.insert_net(), ckt.insert_net()
+    ckt.insert_measure(n1, 0, reg[0])
+    ckt.insert_cgate("x", n2, 1, condition=(reg, 3))
+    text = to_qasm(ckt)
+    assert "creg syndrome[2];" in text
+    assert "measure q[0] -> syndrome[0];" in text
+    assert "if(syndrome==3) x q[1];" in text
+
+
+def test_writer_rejects_bit_subset_condition():
+    from repro.core.circuit import Circuit
+
+    ckt = Circuit(2)
+    ckt.add_classical_register("c", 2)
+    net = ckt.insert_net()
+    # condition over one bit of a two-bit register: not expressible in QASM2
+    ckt.insert_cgate("x", net, 1, condition=((0,), 1))
+    with pytest.raises(QasmSyntaxError):
+        to_qasm(ckt)
+
+
+def test_parsed_dynamic_circuit_simulates_like_dense():
+    import numpy as np
+
+    from repro.baselines.dense import DenseReferenceSimulator
+    from repro.core.simulator import QTaskSimulator
+
+    prog = parse_qasm(DYNAMIC)
+    ckt = program_to_circuit(prog)
+    sim = QTaskSimulator(ckt, block_size=4, seed=13)
+    try:
+        sim.update_state()
+        dense = DenseReferenceSimulator(
+            ckt, forced_outcomes=sim.outcomes.recorded_outcomes()
+        )
+        dense.update_state()
+        np.testing.assert_allclose(sim.state(), dense.state(), atol=1e-10)
+    finally:
+        sim.close()
+
+
+def test_writer_condition_over_anonymous_register():
+    from repro.core.circuit import Circuit
+
+    # a condition covering exactly the anonymous fallback register serialises
+    ckt = Circuit(2, num_clbits=1)
+    n1, n2 = ckt.insert_net(), ckt.insert_net()
+    ckt.insert_measure(n1, 0, 0)
+    ckt.insert_cgate("x", n2, 1, condition=((0,), 1))
+    text = to_qasm(ckt)
+    assert "creg c[1];" in text and "if(c==1) x q[1];" in text
+    reparsed = parse_qasm(text)
+    assert [str(g) for g in reparsed.gates] == [
+        str(h.gate) for net in ckt.nets() for h in net.gates
+    ]
