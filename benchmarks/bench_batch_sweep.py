@@ -77,10 +77,11 @@ def sweep_points(gamma_handles, beta_handles, gammas, betas, steps):
 
 
 def run_batched(num_qubits, rounds, steps, block_size, observable,
-                *, num_workers, num_forks=None):
+                *, num_workers, num_forks=None, kernel_backend=None):
     """The fleet mode: fork + SweepRunner on a shared work-stealing pool."""
     gammas, betas = list(BASE_GAMMAS[:rounds]), list(BASE_BETAS[:rounds])
-    session = QTask(num_qubits, block_size=block_size, num_workers=num_workers)
+    session = QTask(num_qubits, block_size=block_size, num_workers=num_workers,
+                    kernel_backend=kernel_backend)
     try:
         gamma_handles, beta_handles = build_qaoa(
             session.circuit, num_qubits, rounds, gammas, betas
@@ -92,7 +93,8 @@ def run_batched(num_qubits, rounds, steps, block_size, observable,
             gamma_handles[-1], beta_handles[-1], gammas, betas, steps
         )
         runner = SweepRunner(
-            session, handles, observable=observable, num_forks=num_forks
+            session, handles, observable=observable, num_forks=num_forks,
+            kernel_backend=kernel_backend,
         )
         try:
             t0 = time.perf_counter()
@@ -110,6 +112,7 @@ def run_batched(num_qubits, rounds, steps, block_size, observable,
                 "num_forks": runner.active_forks,
                 "affected_fraction": [r.affected_fraction for r in results],
                 "fleet_memory": _fleet_memory(session, runner),
+                "plan_report": session.plan_report().as_dict(),
             }
         finally:
             runner.close()
@@ -131,7 +134,7 @@ def _fleet_memory(session, runner):
 
 
 def run_ab(num_qubits=16, rounds=3, steps=8, block_size=256, num_workers=4,
-           num_forks=None):
+           num_forks=None, kernel_backend=None):
     """Sequential vs batched vs dense ground truth, one measured record."""
     edges = [e for group in ring_edges(num_qubits) for e in group]
     observable = maxcut_hamiltonian(edges)
@@ -142,6 +145,7 @@ def run_ab(num_qubits=16, rounds=3, steps=8, block_size=256, num_workers=4,
     batched_seconds, batched_exp, extra = run_batched(
         num_qubits, rounds, steps, block_size, observable,
         num_workers=num_workers, num_forks=num_forks,
+        kernel_backend=kernel_backend,
     )
     dense_seconds, dense_exp, _ = run_dense(
         num_qubits, rounds, steps, block_size, observable
@@ -161,6 +165,9 @@ def run_ab(num_qubits=16, rounds=3, steps=8, block_size=256, num_workers=4,
         "block_size": block_size,
         "num_workers": num_workers,
         "num_forks": extra["num_forks"],
+        "kernel_backend": extra["plan_report"]["backend"],
+        "requested_kernel_backend": kernel_backend or "auto",
+        "plan_report": extra["plan_report"],
         "available_cpus": available_cpus(),
         "sequential_seconds": seq_seconds,
         "batched_sweep_seconds": batched_seconds,
@@ -231,6 +238,10 @@ def main(argv=None):
                         help="work-stealing pool size for the batched mode")
     parser.add_argument("--forks", type=int, default=None,
                         help="fork fleet size (default: one per worker)")
+    parser.add_argument("--kernel-backend", default=None,
+                        help="kernel backend for the fleet (auto, numpy, "
+                             "numba, process, legacy); the process backend "
+                             "sidesteps the GIL entirely on multi-core hosts")
     parser.add_argument("--repeats", type=int, default=2,
                         help="A/B repetitions; the median speedup is reported")
     parser.add_argument("--out", default="BENCH_batch_sweep.json",
@@ -246,7 +257,7 @@ def main(argv=None):
 
     runs = [
         run_ab(args.qubits, args.rounds, args.steps, args.block_size,
-               args.workers, args.forks)
+               args.workers, args.forks, args.kernel_backend)
         for _ in range(args.repeats)
     ]
     median = statistics.median(r["speedup_vs_sequential"] for r in runs)

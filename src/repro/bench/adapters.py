@@ -96,6 +96,7 @@ def qtask_factory(
     max_fused_qubits: int = 4,
     block_directory: bool = True,
     observable_cache: bool = True,
+    kernel_backend: Optional[str] = None,
     name: str = "qTask",
 ) -> SimulatorFactory:
     def build(circuit: Circuit) -> SimulatorAdapter:
@@ -108,6 +109,7 @@ def qtask_factory(
             max_fused_qubits=max_fused_qubits,
             block_directory=block_directory,
             observable_cache=observable_cache,
+            kernel_backend=kernel_backend,
         )
         return SimulatorAdapter(name, sim, incremental=True)
 

@@ -1,0 +1,327 @@
+"""Batch-major execution plans: the dirty frontier as run tables.
+
+Prior to this module, every incremental update turned each affected
+partition node into its own executor task, and each task spawned one Python
+closure per aligned block run (``Stage.block_tasks``) -- thousands of
+closures, task-graph nodes and dependency counters for a deep dirty cone,
+all dispatched under the GIL.  The plan layer compiles that frontier *once*
+into a handful of batch-major structures instead:
+
+* :class:`RunSpec` -- one aligned kernel run, described as data (kind,
+  amplitude range, qubit tuple, classified action / payload) rather than as
+  a closure.  Stages emit these through ``Stage.emit_runs``, the single
+  shared path behind both the legacy per-run tasks and the plan pipeline.
+* :class:`RunTable` -- the runs of one stage packed into contiguous arrays
+  (``los``/``his``/``op_ids``) plus a deduplicated operation table, the
+  shape a vectorised or compiled kernel backend consumes whole.
+* :class:`StagePlan` -- one affected stage: its reader, whether its sync
+  barrier (``prepare``) must run, and the block ranges to recompute.  For
+  static stages (plain unitary/fused stages, whose runs depend on nothing
+  drawn at execution time) the runs are emitted eagerly at plan-build time;
+  dynamic and matrix--vector stages defer emission until after their
+  ``prepare`` ran, exactly like the legacy path.
+* :class:`ExecutionPlan` -- every stage plan of one update plus the
+  stage-granular dependency edges derived from the partition graph.
+
+The executors then receive one task per *stage* (optionally split into at
+most ``Executor.subflow_width`` chunk subflows) instead of one per
+partition, and a :class:`~repro.core.kernels.KernelBackend` executes each
+run table in bulk.
+
+This module is pure data/plumbing: it imports no kernels and no executor,
+so the backend implementations in :mod:`repro.core.kernels` and the
+orchestration in :mod:`repro.core.simulator` can both build on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RUN_ACTION",
+    "RUN_SLICE",
+    "RUN_COPY",
+    "RUN_COLLAPSE",
+    "RunSpec",
+    "PlanOp",
+    "RunTable",
+    "StagePlan",
+    "ExecutionPlan",
+    "PlanReport",
+    "build_execution_plan",
+]
+
+#: Apply a classified (diagonal/monomial/matvec) action to the range.
+RUN_ACTION = 0
+#: Publish a slice of a prepared full vector (matvec / superposition c_if).
+RUN_SLICE = 1
+#: Identity-copy the range from the stage input (condition-false c_if).
+RUN_COPY = 2
+#: Projective collapse of the range (measure/reset); op = (qubit, outcome,
+#: scale, move).
+RUN_COLLAPSE = 3
+
+
+class RunSpec(NamedTuple):
+    """One aligned kernel run, as data instead of a closure.
+
+    ``op`` is the kind-specific payload: the classified action for
+    :data:`RUN_ACTION`, the prepared full vector for :data:`RUN_SLICE`,
+    ``None`` for :data:`RUN_COPY` and the ``(qubit, outcome, scale, move)``
+    tuple for :data:`RUN_COLLAPSE`.
+    """
+
+    kind: int
+    lo: int
+    hi: int
+    qubits: Tuple[int, ...]
+    op: object
+
+
+class PlanOp(NamedTuple):
+    """One deduplicated operation of a run table (shared by many runs)."""
+
+    kind: int
+    qubits: Tuple[int, ...]
+    op: object
+
+
+class RunTable:
+    """The runs of one stage packed into contiguous arrays.
+
+    ``los``/``his`` are the inclusive amplitude bounds per run and
+    ``op_ids[i]`` indexes the deduplicated :attr:`ops` table -- the batch-
+    major layout kernel backends consume whole (grouping runs by operation
+    lets the numpy backend execute a homogeneous group in a handful of
+    stacked array ops, and gives compiled backends plain int64 arrays to
+    iterate without touching Python objects).
+    """
+
+    __slots__ = ("los", "his", "op_ids", "ops")
+
+    def __init__(
+        self,
+        los: np.ndarray,
+        his: np.ndarray,
+        op_ids: np.ndarray,
+        ops: List[PlanOp],
+    ) -> None:
+        self.los = los
+        self.his = his
+        self.op_ids = op_ids
+        self.ops = ops
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[RunSpec]) -> "RunTable":
+        n = len(runs)
+        los = np.empty(n, dtype=np.int64)
+        his = np.empty(n, dtype=np.int64)
+        op_ids = np.empty(n, dtype=np.int32)
+        ops: List[PlanOp] = []
+        index: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        for i, r in enumerate(runs):
+            los[i] = r.lo
+            his[i] = r.hi
+            key = (r.kind, id(r.op), r.qubits)
+            op_id = index.get(key)
+            if op_id is None:
+                op_id = index[key] = len(ops)
+                ops.append(PlanOp(r.kind, r.qubits, r.op))
+            op_ids[i] = op_id
+        return cls(los, his, op_ids, ops)
+
+    @property
+    def num_runs(self) -> int:
+        return int(self.los.shape[0])
+
+    def groups(self) -> Iterator[Tuple[PlanOp, np.ndarray]]:
+        """Yield ``(op, run_indices)`` per distinct operation, in op order."""
+        for op_id, op in enumerate(self.ops):
+            idx = np.flatnonzero(self.op_ids == op_id)
+            if idx.size:
+                yield op, idx
+
+    def split(self, parts: int) -> List["RunTable"]:
+        """At most ``parts`` contiguous sub-tables covering every run.
+
+        Runs of one stage write disjoint ranges, so the sub-tables can
+        execute concurrently; the operation table is shared by reference.
+        """
+        n = self.num_runs
+        parts = max(1, min(int(parts), n)) if n else 1
+        if parts <= 1:
+            return [self]
+        bounds = np.linspace(0, n, parts + 1, dtype=np.int64)
+        out: List[RunTable] = []
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if b > a:
+                out.append(
+                    RunTable(self.los[a:b], self.his[a:b], self.op_ids[a:b], self.ops)
+                )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunTable(runs={self.num_runs}, ops={len(self.ops)})"
+
+
+class StagePlan:
+    """Everything one stage contributes to an update's execution plan."""
+
+    __slots__ = (
+        "stage",
+        "reader",
+        "has_sync",
+        "block_ranges",
+        "block_writes",
+        "_static_runs",
+        "emitted_runs",
+        "num_chunks",
+    )
+
+    def __init__(self, stage, reader) -> None:
+        self.stage = stage
+        self.reader = reader
+        self.has_sync = False
+        #: block ranges of the stage's affected (non-sync) partition nodes
+        self.block_ranges: List[object] = []
+        self.block_writes = 0
+        #: runs emitted at build time for static stages; ``None`` defers
+        #: emission to execution time (after ``prepare`` ran)
+        self._static_runs: Optional[List[RunSpec]] = None
+        #: filled in by the executing task body (one writer, read after join)
+        self.emitted_runs = 0
+        self.num_chunks = 0
+
+    def freeze_static(self) -> None:
+        """Pre-emit the runs of a stage whose emission is input-independent."""
+        if getattr(self.stage, "plan_static", False):
+            self._static_runs = self._emit()
+
+    def _emit(self) -> List[RunSpec]:
+        runs: List[RunSpec] = []
+        for br in self.block_ranges:
+            runs.extend(self.stage.emit_runs(br))
+        return runs
+
+    def build_table(self) -> RunTable:
+        """The stage's run table (static, or emitted now, post-``prepare``)."""
+        runs = self._static_runs if self._static_runs is not None else self._emit()
+        self.emitted_runs = len(runs)
+        return RunTable.from_runs(runs)
+
+
+class ExecutionPlan:
+    """One update's worth of stage plans plus stage-granular dependencies."""
+
+    __slots__ = ("stage_plans", "edges", "block_writes")
+
+    def __init__(
+        self,
+        stage_plans: List[StagePlan],
+        edges: List[Tuple[int, int]],
+        block_writes: int,
+    ) -> None:
+        self.stage_plans = stage_plans
+        #: ``(pred stage uid, succ stage uid)`` pairs, deduplicated
+        self.edges = edges
+        self.block_writes = block_writes
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_plans)
+
+    def total_runs(self) -> int:
+        return sum(sp.emitted_runs for sp in self.stage_plans)
+
+    def total_chunks(self) -> int:
+        return sum(sp.num_chunks for sp in self.stage_plans)
+
+
+def build_execution_plan(
+    affected: Sequence[object],
+    reader_for: Callable[[object], object],
+) -> ExecutionPlan:
+    """Compile the affected partition nodes into one plan per stage.
+
+    ``affected`` must be in the partition graph's topological order (stage
+    seq ascending, sync nodes leading their stage -- exactly what
+    ``PartitionGraph.affected_nodes`` returns).  The frontier is walked
+    once: each node folds into its stage's :class:`StagePlan`, and every
+    cross-stage partition edge collapses onto one stage-granular edge.
+    Coarsening node edges to stage edges only *adds* ordering (edges always
+    point from earlier to later stages, partitions of one stage never
+    depend on each other), so the plan DAG is a correct, smaller schedule.
+    """
+    plans: Dict[int, StagePlan] = {}
+    order: List[StagePlan] = []
+    block_writes = 0
+    for node in affected:
+        uid = node.stage.uid
+        sp = plans.get(uid)
+        if sp is None:
+            sp = plans[uid] = StagePlan(node.stage, reader_for(node.stage))
+            order.append(sp)
+        if node.is_sync:
+            sp.has_sync = True
+        else:
+            sp.block_ranges.append(node.block_range)
+            sp.block_writes += len(node.block_range)
+            block_writes += len(node.block_range)
+    for sp in order:
+        sp.freeze_static()
+
+    edge_set: set = set()
+    edges: List[Tuple[int, int]] = []
+    for node in affected:
+        pred_uid = node.stage.uid
+        for succ in node.succs:
+            succ_uid = succ.stage.uid
+            if succ_uid == pred_uid or succ_uid not in plans:
+                continue
+            key = (pred_uid, succ_uid)
+            if key not in edge_set:
+                edge_set.add(key)
+                edges.append(key)
+    return ExecutionPlan(order, edges, block_writes)
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Dispatch-overhead accounting of the plan pipeline (one session).
+
+    The :class:`~repro.core.cow.MemoryReport` sibling for execution plans:
+    how many plans were compiled, how many runs they batched, how many
+    executor-visible chunks those became, which backend executed them and
+    how often a requested backend had to fall back.  ``runs_per_plan`` is
+    the headline number -- the dispatch work one executor task now absorbs.
+    """
+
+    backend: str
+    requested_backend: str
+    plans_built: int
+    runs_batched: int
+    plan_chunks: int
+    backend_fallbacks: int
+    updates_planned: int
+
+    @property
+    def runs_per_plan(self) -> float:
+        if self.plans_built == 0:
+            return 0.0
+        return self.runs_batched / self.plans_built
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "requested_backend": self.requested_backend,
+            "plans_built": self.plans_built,
+            "runs_batched": self.runs_batched,
+            "plan_chunks": self.plan_chunks,
+            "backend_fallbacks": self.backend_fallbacks,
+            "updates_planned": self.updates_planned,
+            "runs_per_plan": self.runs_per_plan,
+        }

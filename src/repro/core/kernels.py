@@ -17,10 +17,21 @@ Three families of kernels mirror the paper's gate classification (§III.C):
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, Tuple
+import atexit
+import os
+from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from .exec_plan import (
+    RUN_ACTION,
+    RUN_COLLAPSE,
+    RUN_COPY,
+    RUN_SLICE,
+    PlanOp,
+    RunSpec,
+    RunTable,
+)
 from .gates import (
     DiagonalAction,
     MatVecAction,
@@ -43,6 +54,17 @@ __all__ = [
     "apply_matrix_dense",
     "measured_masses",
     "collapse_run",
+    "execute_run",
+    "iter_table_runs",
+    "BackendUnavailable",
+    "KernelBackend",
+    "NumpyBatchBackend",
+    "NumbaBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "available_backends",
+    "shutdown_process_pools",
+    "HAVE_NUMBA",
 ]
 
 _DTYPE = np.complex128
@@ -254,6 +276,35 @@ def apply_action_run(
     store.write_range(lo, out, copy=False)
 
 
+def execute_run(reader: StateReader, store, spec: RunSpec) -> None:
+    """Execute one :class:`~repro.core.exec_plan.RunSpec` against a store.
+
+    The run-granular counterpart of the plan backends below, and the body of
+    the legacy per-run task path (``Stage.block_tasks`` wraps one closure
+    around each spec).  Every backend's fallback path funnels through here,
+    so the two execution modes share the exact kernels.
+    """
+    kind = spec.kind
+    if kind == RUN_ACTION:
+        apply_action_run(reader, store, spec.lo, spec.hi, spec.qubits, spec.op)
+    elif kind == RUN_SLICE:
+        # op is a prepared full vector, rebound (never mutated) by the next
+        # prepare() -- its slices are safe to publish zero-copy.
+        store.write_range(spec.lo, spec.op[spec.lo : spec.hi + 1], copy=False)
+    elif kind == RUN_COPY:
+        # read_range returns a fresh array, safe to adopt zero-copy
+        store.write_range(
+            spec.lo, reader.read_range(spec.lo, spec.hi), copy=False
+        )
+    elif kind == RUN_COLLAPSE:
+        qubit, outcome, scale, move = spec.op
+        collapse_run(
+            reader, store, spec.lo, spec.hi, qubit, outcome, scale, move=move
+        )
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown run kind {kind!r}")
+
+
 # ---------------------------------------------------------------------------
 # Projective-collapse kernels (dynamic circuits: measure / reset)
 # ---------------------------------------------------------------------------
@@ -403,3 +454,617 @@ def apply_matrix_dense(
 def apply_gate_dense(state: np.ndarray, gate, num_qubits: int) -> np.ndarray:
     """Apply a :class:`repro.core.gates.Gate` to a dense state vector."""
     return apply_matrix_dense(state, gate.matrix(), gate.qubits, num_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Kernel backends: batch-major execution of compiled run tables
+# ---------------------------------------------------------------------------
+#
+# A backend consumes one RunTable (the runs of one stage, or a chunk of
+# them) at a time through ``execute_plan(reader, store, table)``.  Runs of
+# one table write disjoint ranges, so a backend is free to reorder or batch
+# them; reads go through the block-resolving reader either way, so all
+# backends observe the same stage input and produce bit-identical output.
+
+#: optional dependency -- the numba backend degrades to unavailable when the
+#: import fails for any reason (missing wheel, broken LLVM, version skew)
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the common case in this container
+    _numba = None
+
+HAVE_NUMBA = _numba is not None
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a requested kernel backend cannot run on this host."""
+
+
+def iter_table_runs(table: RunTable) -> Iterator[RunSpec]:
+    """The rows of a run table as :class:`RunSpec` values, in table order."""
+    los, his, op_ids, ops = table.los, table.his, table.op_ids, table.ops
+    for i in range(los.shape[0]):
+        op = ops[op_ids[i]]
+        yield RunSpec(op.kind, int(los[i]), int(his[i]), op.qubits, op.op)
+
+
+def _monomial_mirror(
+    lo: int, n: int, qubits: Sequence[int], action: MonomialAction
+) -> Optional[Tuple[int, int]]:
+    """``(start, period)`` of the contiguous-mirror fast path, else ``None``.
+
+    Mirrors the eligibility test inside :func:`apply_monomial_range` exactly
+    -- the process-pool backend uses it to decide which source range to ship
+    to a worker (the worker then deterministically takes the same branch).
+    """
+    nb = _range_alignment(lo, n)
+    if nb < 0:
+        return None
+    perm = np.asarray(action.perm, dtype=np.int64)
+    inv = np.empty(perm.shape[0], dtype=np.int64)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    period, local_out = _local_pattern(lo, nb, qubits)
+    local_src = inv[local_out]
+    pattern = replace_local(
+        np.arange(lo, lo + period, dtype=np.int64), qubits, local_src
+    )
+    start = int(pattern[0]) & ~(period - 1)
+    offsets = pattern - start
+    if np.all((offsets >= 0) & (offsets < period)):
+        return start, period
+    return None
+
+
+class KernelBackend:
+    """Interface: execute one compiled run table against a stage store.
+
+    The base implementation is the run-granular reference loop -- every
+    backend's fallback path and the behaviour contract the batched
+    implementations must be bit-identical to.
+    """
+
+    name = "base"
+    #: ``True`` for backends whose ``execute_plan`` may fail at runtime for
+    #: environmental reasons (a broken worker pool); the simulator then
+    #: retries the chunk through :func:`execute_run` and counts a fallback.
+    failure_safe = False
+
+    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+        for spec in iter_table_runs(table):
+            execute_run(reader, store, spec)
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+
+class NumpyBatchBackend(KernelBackend):
+    """Default backend: vectorised-numpy execution grouped by action.
+
+    Homogeneous groups -- same classified action, same run length, every
+    gate qubit below the run alignment (so the per-period local pattern is
+    identical across runs) -- execute as a handful of stacked array ops:
+    one ``(runs, n)`` source matrix, one broadcast multiply (plus one
+    in-period gather for monomial actions), one view-publishing write per
+    run.  Anything inhomogeneous falls back to the per-run reference loop,
+    keeping output bit-identical to the legacy path by construction.
+    """
+
+    name = "numpy"
+
+    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+        for op, idx in table.groups():
+            los = table.los[idx]
+            his = table.his[idx]
+            if op.kind == RUN_ACTION and isinstance(op.op, DiagonalAction):
+                self._diagonal_group(reader, store, op, los, his)
+            elif op.kind == RUN_ACTION and isinstance(op.op, MonomialAction):
+                self._monomial_group(reader, store, op, los, his)
+            else:
+                for lo, hi in zip(los, his):
+                    execute_run(
+                        reader,
+                        store,
+                        RunSpec(op.kind, int(lo), int(hi), op.qubits, op.op),
+                    )
+
+    @staticmethod
+    def _stack_alignment(
+        los: np.ndarray, n: int, qubits: Sequence[int]
+    ) -> int:
+        """Shared alignment ``nb`` when the runs can stack, else -1.
+
+        Stacking requires every run of the group to be an aligned power-of-
+        two range of the same length with all gate qubits below the
+        alignment -- then the per-period local pattern (and with it the
+        phase/gather table) is the same for every run.
+        """
+        nb = _range_alignment(int(los[0]), n)
+        if nb < 0 or (qubits and max(qubits) >= nb):
+            return -1
+        if np.any(los % n != 0):
+            return -1
+        return nb
+
+    def _fallback(self, reader, store, op: PlanOp, los, his, sel) -> None:
+        for j in sel:
+            execute_run(
+                reader,
+                store,
+                RunSpec(op.kind, int(los[j]), int(his[j]), op.qubits, op.op),
+            )
+
+    def _read_stack(self, reader, los, sel, n: int) -> np.ndarray:
+        src = np.empty((sel.shape[0], n), dtype=_DTYPE)
+        for i, j in enumerate(sel):
+            lo = int(los[j])
+            src[i] = reader.read_range(lo, lo + n - 1)
+        return src
+
+    def _diagonal_group(self, reader, store, op: PlanOp, los, his) -> None:
+        qubits = op.qubits
+        action = op.op
+        phases = np.asarray(action.phases, dtype=_DTYPE)
+        lengths = his - los + 1
+        for n in np.unique(lengths):
+            sel = np.flatnonzero(lengths == n)
+            n = int(n)
+            nb = self._stack_alignment(los[sel], n, qubits)
+            if nb < 0 or sel.shape[0] < 2:
+                self._fallback(reader, store, op, los, his, sel)
+                continue
+            period, local = _local_pattern(int(los[sel[0]]), nb, qubits)
+            row = phases[local]
+            src = self._read_stack(reader, los, sel, n)
+            if period == 1:
+                out = src * row[0]
+            else:
+                out = (src.reshape(sel.shape[0], -1, period) * row).reshape(
+                    sel.shape[0], n
+                )
+            for i, j in enumerate(sel):
+                store.write_range(int(los[j]), out[i], copy=False)
+
+    def _monomial_group(self, reader, store, op: PlanOp, los, his) -> None:
+        qubits = op.qubits
+        action = op.op
+        perm = np.asarray(action.perm, dtype=np.int64)
+        factors = np.asarray(action.factors, dtype=_DTYPE)
+        lengths = his - los + 1
+        for n in np.unique(lengths):
+            sel = np.flatnonzero(lengths == n)
+            n = int(n)
+            nb = self._stack_alignment(los[sel], n, qubits)
+            if nb < 0 or sel.shape[0] < 2:
+                self._fallback(reader, store, op, los, his, sel)
+                continue
+            # With every gate qubit below the alignment the source pattern
+            # stays inside each run (start == lo), so one in-period gather
+            # plus one broadcast multiply covers the whole stack.
+            inv = np.empty(perm.shape[0], dtype=np.int64)
+            inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+            lo0 = int(los[sel[0]])
+            period, local_out = _local_pattern(lo0, nb, qubits)
+            local_src = inv[local_out]
+            pattern = replace_local(
+                np.arange(lo0, lo0 + period, dtype=np.int64), qubits, local_src
+            )
+            offsets = pattern - lo0
+            if not np.all((offsets >= 0) & (offsets < period)):
+                # defensive: cannot happen with qubits < nb, but never batch
+                # a run the per-run fast path would route through a gather
+                self._fallback(reader, store, op, los, his, sel)
+                continue
+            row_factors = factors[local_src]
+            src = self._read_stack(reader, los, sel, n)
+            if period == 1:
+                out = src * row_factors[0]
+            else:
+                stacked = src.reshape(sel.shape[0], -1, period)
+                out = (stacked[:, :, offsets] * row_factors).reshape(
+                    sel.shape[0], n
+                )
+            for i, j in enumerate(sel):
+                store.write_range(int(los[j]), out[i], copy=False)
+
+
+# -- numba backend ----------------------------------------------------------
+#
+# The loop kernels are plain Python functions; when numba imports they are
+# njit-wrapped at backend construction, otherwise ``NumbaBackend(jit=False)``
+# runs them as interpreted loops (slow, but it lets the parity suite exercise
+# the exact loop logic on hosts without numba).
+
+
+def _diag_loop(src, table, period, out):  # pragma: no cover - jitted
+    for i in range(src.shape[0]):
+        out[i] = src[i] * table[i % period]
+
+
+def _monomial_loop(src, offsets, factors, period, out):  # pragma: no cover
+    for i in range(src.shape[0]):
+        j = i % period
+        out[i] = src[i - j + offsets[j]] * factors[j]
+
+
+def _matvec_accum_loop(cols, srcs, out):  # pragma: no cover - jitted
+    d = cols.shape[0]
+    n = cols.shape[1]
+    for l in range(d):
+        for i in range(n):
+            out[i] += cols[l, i] * srcs[l, i]
+
+
+class NumbaBackend(KernelBackend):
+    """Optional backend: njit'd diagonal/monomial/matvec inner loops.
+
+    Auto-detected and importable-failure-safe: constructing it raises
+    :class:`BackendUnavailable` when numba is missing, and
+    :func:`make_backend` then substitutes the numpy backend.  ``jit=False``
+    runs the same loop kernels interpreted (parity testing without numba).
+    """
+
+    name = "numba"
+
+    def __init__(self, *, jit: bool = True) -> None:
+        if jit and not HAVE_NUMBA:
+            raise BackendUnavailable("numba is not importable on this host")
+        self.jitted = bool(jit) and HAVE_NUMBA
+        if self.jitted:  # pragma: no cover - needs numba
+            self._diag = _numba.njit(cache=False)(_diag_loop)
+            self._monomial = _numba.njit(cache=False)(_monomial_loop)
+            self._matvec = _numba.njit(cache=False)(_matvec_accum_loop)
+        else:
+            self._diag = _diag_loop
+            self._monomial = _monomial_loop
+            self._matvec = _matvec_accum_loop
+
+    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+        for spec in iter_table_runs(table):
+            if spec.kind != RUN_ACTION:
+                execute_run(reader, store, spec)
+            elif isinstance(spec.op, DiagonalAction):
+                self._run_diagonal(reader, store, spec)
+            elif isinstance(spec.op, MonomialAction):
+                self._run_monomial(reader, store, spec)
+            elif isinstance(spec.op, MatVecAction):
+                self._run_matvec(reader, store, spec)
+            else:  # pragma: no cover - defensive
+                execute_run(reader, store, spec)
+
+    def _run_diagonal(self, reader, store, spec: RunSpec) -> None:
+        n = spec.hi - spec.lo + 1
+        nb = _range_alignment(spec.lo, n)
+        if nb < 0:
+            execute_run(reader, store, spec)
+            return
+        period, local = _local_pattern(spec.lo, nb, spec.qubits)
+        table = np.ascontiguousarray(
+            np.asarray(spec.op.phases, dtype=_DTYPE)[local]
+        )
+        src = np.ascontiguousarray(
+            np.asarray(reader.read_range(spec.lo, spec.hi), dtype=_DTYPE)
+        )
+        out = np.empty(n, dtype=_DTYPE)
+        self._diag(src, table, period, out)
+        store.write_range(spec.lo, out, copy=False)
+
+    def _run_monomial(self, reader, store, spec: RunSpec) -> None:
+        n = spec.hi - spec.lo + 1
+        mirror = _monomial_mirror(spec.lo, n, spec.qubits, spec.op)
+        if mirror is None:
+            execute_run(reader, store, spec)
+            return
+        start, period = mirror
+        perm = np.asarray(spec.op.perm, dtype=np.int64)
+        inv = np.empty(perm.shape[0], dtype=np.int64)
+        inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+        _, local_out = _local_pattern(
+            spec.lo, _range_alignment(spec.lo, n), spec.qubits
+        )
+        local_src = inv[local_out]
+        pattern = replace_local(
+            np.arange(spec.lo, spec.lo + period, dtype=np.int64),
+            spec.qubits,
+            local_src,
+        )
+        offsets = np.ascontiguousarray(pattern - start)
+        factors = np.ascontiguousarray(
+            np.asarray(spec.op.factors, dtype=_DTYPE)[local_src]
+        )
+        src = np.ascontiguousarray(
+            np.asarray(reader.read_range(start, start + n - 1), dtype=_DTYPE)
+        )
+        out = np.empty(n, dtype=_DTYPE)
+        self._monomial(src, offsets, factors, period, out)
+        store.write_range(spec.lo, out, copy=False)
+
+    def _run_matvec(self, reader, store, spec: RunSpec) -> None:
+        # Gathers stay in numpy (they walk the block-resolving reader); the
+        # jitted loop does the dense accumulation, in the same ascending
+        # column order -- and with the same all-zero-column skip -- as
+        # apply_matvec_range, so results match bit for bit.
+        m = np.asarray(spec.op.matrix, dtype=_DTYPE)
+        dim = m.shape[0]
+        idx = np.arange(spec.lo, spec.hi + 1, dtype=np.int64)
+        local_out = extract_local(idx, spec.qubits)
+        cols: List[np.ndarray] = []
+        srcs: List[np.ndarray] = []
+        for l_in in range(dim):
+            col = m[local_out, l_in]
+            if not np.any(np.abs(col) > 0.0):
+                continue
+            src_idx = replace_local(idx, spec.qubits, np.full_like(idx, l_in))
+            cols.append(col)
+            srcs.append(np.asarray(reader.gather(src_idx), dtype=_DTYPE))
+        out = np.zeros(idx.shape[0], dtype=_DTYPE)
+        if cols:
+            self._matvec(
+                np.ascontiguousarray(np.stack(cols)),
+                np.ascontiguousarray(np.stack(srcs)),
+                out,
+            )
+        store.write_range(spec.lo, out, copy=False)
+
+
+# -- process-pool backend ---------------------------------------------------
+#
+# Fork-based worker processes fed through SharedMemory: the parent
+# materialises each shippable run's source range into one shared input
+# buffer, workers apply the classified actions and write the outputs into a
+# shared output buffer at the same offsets, and the parent publishes the
+# results into the stage store.  Only fork is supported (spawn would
+# re-import the host application); pools are module-level and shared across
+# simulators so a fleet of forked sessions reuses one set of workers.
+
+_process_pools: Dict[int, object] = {}
+
+
+def _get_fork_pool(workers: int):
+    import multiprocessing as mp
+
+    pool = _process_pools.get(workers)
+    if pool is None:
+        ctx = mp.get_context("fork")
+        pool = ctx.Pool(processes=workers)
+        _process_pools[workers] = pool
+    return pool
+
+
+def shutdown_process_pools() -> None:
+    """Terminate every shared fork pool (registered atexit)."""
+    for pool in _process_pools.values():
+        pool.terminate()
+        pool.join()
+    _process_pools.clear()
+
+
+atexit.register(shutdown_process_pools)
+
+
+class _OffsetReader:
+    """Serve one contiguous amplitude window ``[base_lo, base_lo + len)``.
+
+    The reader a pool worker wraps around its shipped source slice; the
+    parent only ships runs whose kernel reads stay inside the window, so
+    ``gather`` never sees an out-of-window index.
+    """
+
+    __slots__ = ("base_lo", "arr")
+
+    def __init__(self, base_lo: int, arr: np.ndarray) -> None:
+        self.base_lo = base_lo
+        self.arr = arr
+
+    def read_range(self, lo: int, hi: int) -> np.ndarray:  # pragma: no cover
+        return self.arr[lo - self.base_lo : hi + 1 - self.base_lo]
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:  # pragma: no cover
+        return self.arr[np.asarray(indices, dtype=np.int64) - self.base_lo]
+
+    def full_vector(self) -> np.ndarray:  # pragma: no cover - never shipped
+        raise RuntimeError("full-vector reads are not shipped to pool workers")
+
+
+def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
+    """Worker body: apply classified actions to shipped source windows."""
+    from multiprocessing import shared_memory
+
+    in_name, out_name, total, rows, ops = args
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    # Attaching registers the segments with this process's resource tracker,
+    # which would double-count them against the parent's unlink; the parent
+    # owns both segments' lifetimes, so hand tracking back immediately.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm_in._name, "shared_memory")
+        resource_tracker.unregister(shm_out._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    try:
+        src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
+        out_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf)
+        for offset, base_lo, lo, hi, op_id in rows:
+            qubits, action = ops[op_id]
+            n = hi - lo + 1
+            reader = _OffsetReader(base_lo, src_all[offset : offset + n])
+            out_all[offset : offset + n] = apply_action_range(
+                reader, lo, hi, qubits, action
+            )
+    finally:
+        shm_in.close()
+        shm_out.close()
+    return None
+
+
+class ProcessPoolBackend(KernelBackend):
+    """Shared-memory process-pool backend: real cores instead of the GIL.
+
+    Ships diagonal runs (whose only read is their own range) and
+    contiguous-mirror monomial runs to fork workers; everything else -- and
+    any table smaller than ``min_ship_amps`` amplitudes, where the
+    serialise/launch overhead dominates -- executes in-parent through the
+    numpy backend.  Worker count comes from ``num_workers``, the
+    ``QTASK_PROCESS_WORKERS`` environment variable, or ``os.cpu_count()``.
+    """
+
+    name = "process"
+    failure_safe = True
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        *,
+        min_ship_amps: int = 1 << 14,
+    ) -> None:
+        if not hasattr(os, "fork"):
+            raise BackendUnavailable(
+                "process backend needs the fork start method"
+            )
+        if num_workers is None:
+            env = os.environ.get("QTASK_PROCESS_WORKERS")
+            num_workers = int(env) if env else (os.cpu_count() or 1)
+        self.num_workers = max(1, int(num_workers))
+        self.min_ship_amps = int(min_ship_amps)
+        self._inner = NumpyBatchBackend()
+        #: informational counters (read by plan statistics; GIL-atomic
+        #: increments are accurate enough for reporting)
+        self.shipped_runs = 0
+        self.local_runs = 0
+        try:
+            self._pool = _get_fork_pool(self.num_workers)
+        except Exception as exc:
+            raise BackendUnavailable(f"could not start fork pool: {exc}")
+
+    def _shippable(self, spec: RunSpec) -> Optional[int]:
+        """Source-window base of a worker-safe run, else ``None``."""
+        if spec.kind != RUN_ACTION:
+            return None
+        n = spec.hi - spec.lo + 1
+        if isinstance(spec.op, DiagonalAction):
+            return spec.lo
+        if isinstance(spec.op, MonomialAction):
+            mirror = _monomial_mirror(spec.lo, n, spec.qubits, spec.op)
+            if mirror is not None:
+                return mirror[0]
+        return None
+
+    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+        from multiprocessing import shared_memory
+
+        shippable: List[Tuple[int, int, int, int, int]] = []  # rows
+        ops: List[Tuple[Tuple[int, ...], object]] = []
+        op_index: Dict[int, int] = {}
+        local: List[RunSpec] = []
+        total = 0
+        for spec in iter_table_runs(table):
+            base_lo = self._shippable(spec)
+            if base_lo is None:
+                local.append(spec)
+                continue
+            op_id = op_index.get(id(spec.op))
+            if op_id is None:
+                op_id = op_index[id(spec.op)] = len(ops)
+                ops.append((spec.qubits, spec.op))
+            n = spec.hi - spec.lo + 1
+            shippable.append((total, base_lo, spec.lo, spec.hi, op_id))
+            total += n
+        if (
+            self.num_workers < 2
+            or len(shippable) < 2
+            or total < self.min_ship_amps
+        ):
+            self.local_runs += table.num_runs
+            self._inner.execute_plan(reader, store, table)
+            return
+
+        nbytes = total * np.dtype(_DTYPE).itemsize
+        shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
+        shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
+            for offset, base_lo, lo, hi, _ in shippable:
+                n = hi - lo + 1
+                src_all[offset : offset + n] = reader.read_range(
+                    base_lo, base_lo + n - 1
+                )
+            stride = -(-len(shippable) // self.num_workers)
+            chunks = [
+                shippable[i : i + stride]
+                for i in range(0, len(shippable), stride)
+            ]
+            self._pool.map(
+                _pool_apply_chunk,
+                [
+                    (shm_in.name, shm_out.name, total, chunk, ops)
+                    for chunk in chunks
+                ],
+            )
+            # One heap copy of the shared output, then view-publish per run
+            # (the store must never keep views into soon-unlinked shm).
+            out_all = np.array(
+                np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf),
+                copy=True,
+            )
+            for offset, _, lo, hi, _ in shippable:
+                n = hi - lo + 1
+                store.write_range(lo, out_all[offset : offset + n], copy=False)
+        finally:
+            shm_in.close()
+            shm_out.close()
+            shm_in.unlink()
+            shm_out.unlink()
+        self.shipped_runs += len(shippable)
+        self.local_runs += len(local)
+        for spec in local:
+            execute_run(reader, store, spec)
+
+
+# -- backend selection ------------------------------------------------------
+
+
+def available_backends() -> List[str]:
+    """Backend names constructible on this host (plus always ``legacy``)."""
+    names = ["numpy", "legacy"]
+    if HAVE_NUMBA:
+        names.insert(1, "numba")
+    if hasattr(os, "fork"):
+        names.insert(-1, "process")
+    return names
+
+
+def make_backend(
+    name: Optional[str] = None, **kwargs
+) -> Tuple[Optional[KernelBackend], bool]:
+    """Resolve a backend spec to ``(backend, fell_back)``.
+
+    ``None`` reads the ``QTASK_KERNEL_BACKEND`` environment variable
+    (default ``auto``).  ``auto`` picks numba when importable, else numpy.
+    ``legacy`` returns ``(None, False)`` -- the caller keeps the per-run
+    task path.  Requesting an unavailable backend (numba without the
+    package, process without fork) substitutes numpy and reports
+    ``fell_back=True`` instead of raising, so a knob setting is portable
+    across hosts.
+    """
+    if name is None:
+        name = os.environ.get("QTASK_KERNEL_BACKEND", "auto")
+    name = str(name).lower()
+    if name == "legacy":
+        return None, False
+    if name == "auto":
+        if HAVE_NUMBA:  # pragma: no cover - needs numba
+            return NumbaBackend(**kwargs), False
+        return NumpyBatchBackend(), False
+    if name == "numpy":
+        return NumpyBatchBackend(), False
+    if name in ("numba", "process"):
+        cls = NumbaBackend if name == "numba" else ProcessPoolBackend
+        try:
+            return cls(**kwargs), False
+        except BackendUnavailable:
+            return NumpyBatchBackend(), True
+    raise ValueError(
+        f"unknown kernel backend {name!r}; expected one of "
+        "auto/numpy/numba/process/legacy"
+    )

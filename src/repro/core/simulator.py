@@ -18,6 +18,7 @@ a circuit and a simulator behind the paper's Table-II API.
 from __future__ import annotations
 
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -37,8 +38,10 @@ from .cow import (
     StoreChain,
 )
 from .exceptions import CircuitError
+from .exec_plan import ExecutionPlan, PlanReport, StagePlan, build_execution_plan
 from .gates import Gate, compose_actions, is_superposition_gate
 from .graph import PartitionGraph, PartitionNode
+from .kernels import KernelBackend, execute_run, iter_table_runs, make_backend
 from .ops import CGate, MeasureOp, ResetOp, is_dynamic_op
 from .stage import (
     ClassicallyControlledStage,
@@ -86,6 +89,7 @@ class QTaskSimulator(CircuitObserver):
         max_fused_qubits: int = 4,
         block_directory: bool = True,
         observable_cache: bool = True,
+        kernel_backend: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> None:
         self.circuit = circuit
@@ -110,6 +114,23 @@ class QTaskSimulator(CircuitObserver):
             raise CircuitError("pass either an executor or num_workers, not both")
         self._owns_executor = executor is None
         self.executor: Executor = executor or make_executor(num_workers)
+
+        #: requested backend spec: "auto" | "numpy" | "numba" | "process" |
+        #: "legacy"; ``None`` defers to the ``QTASK_KERNEL_BACKEND``
+        #: environment variable (default "auto"), which is how CI runs the
+        #: whole suite under each backend without touching call sites.
+        self.kernel_backend = (
+            kernel_backend
+            if kernel_backend is not None
+            else os.environ.get("QTASK_KERNEL_BACKEND", "auto")
+        )
+        self._backend, fell_back = make_backend(self.kernel_backend)
+        #: plan-pipeline counters (see :meth:`plan_report`)
+        self._plans_built = 0
+        self._runs_batched = 0
+        self._plan_chunks = 0
+        self._updates_planned = 0
+        self._backend_fallbacks = 1 if fell_back else 0
 
         self._initial = InitialStateStore(self.dim, self.block_size)
         #: block-ownership index: block id -> stages holding it, seq-sorted.
@@ -205,7 +226,12 @@ class QTaskSimulator(CircuitObserver):
         """
         return self._num_updates, bool(self.graph.frontiers)
 
-    def fork(self, *, executor: Optional[Executor] = None) -> "QTaskSimulator":
+    def fork(
+        self,
+        *,
+        executor: Optional[Executor] = None,
+        kernel_backend: Optional[str] = None,
+    ) -> "QTaskSimulator":
         """A child simulator sharing this one's computed state copy-on-write.
 
         The child gets its own circuit (a structural clone with fresh
@@ -244,6 +270,22 @@ class QTaskSimulator(CircuitObserver):
         child.n_blocks = self.n_blocks
         child._owns_executor = executor is not None
         child.executor = executor if executor is not None else self.executor
+        # The kernel backend is shared by default (backends are stateless or
+        # hold a module-level worker pool), so a run_shots / SweepRunner
+        # fleet funnels every fork's plans through one set of workers; pass
+        # ``kernel_backend`` to give a child a different engine.
+        if kernel_backend is None:
+            child.kernel_backend = self.kernel_backend
+            child._backend = self._backend
+            child._backend_fallbacks = 0
+        else:
+            child.kernel_backend = kernel_backend
+            child._backend, fell_back = make_backend(kernel_backend)
+            child._backend_fallbacks = 1 if fell_back else 0
+        child._plans_built = 0
+        child._runs_batched = 0
+        child._plan_chunks = 0
+        child._updates_planned = 0
         child._initial = InitialStateStore(child.dim, child.block_size)
         child._directory = BlockDirectory(child._initial)
         child.graph = PartitionGraph(
@@ -812,6 +854,87 @@ class QTaskSimulator(CircuitObserver):
             # blocks so no stale copy can shadow the recomputation.
             for stage in stage_order:
                 stage.store.clear()
+        if self._backend is not None:
+            return self._execute_plan(affected, stage_order)
+        return self._execute_legacy(affected, stage_order)
+
+    # -- plan pipeline (kernel_backend != "legacy") ---------------------------
+
+    def _execute_plan(
+        self, affected: List[PartitionNode], stage_order: List[Stage]
+    ) -> int:
+        """Compile the frontier into one plan per stage and batch-execute it.
+
+        One executor task per affected *stage* (not per partition): the task
+        runs the stage's ``prepare`` when its sync barrier is affected,
+        materialises the stage's run table, and hands it -- split into at
+        most ``Executor.subflow_width`` chunk subflows -- to the kernel
+        backend.  Stage-granular edges reproduce the partition graph's
+        ordering (edges only ever point to later stages).
+        """
+        plan = build_execution_plan(
+            affected, lambda stage: self._reader_for(stage, stage_order)
+        )
+        graph = TaskGraph("update_state")
+        tasks: Dict[int, object] = {}
+        for sp in plan.stage_plans:
+            tasks[sp.stage.uid] = graph.emplace(
+                self._make_plan_body(sp), name=sp.stage.label()
+            )
+        for pred_uid, succ_uid in plan.edges:
+            tasks[pred_uid].precede(tasks[succ_uid])
+        self.executor.run(graph)
+
+        self._plans_built += plan.num_stages
+        self._runs_batched += plan.total_runs()
+        self._plan_chunks += plan.total_chunks()
+        self._updates_planned += 1
+
+        block_writes = plan.block_writes
+        if not self.copy_on_write:
+            readers = {sp.stage.uid: sp.reader for sp in plan.stage_plans}
+            block_writes += self._fill_dense_blocks(affected, readers)
+        return block_writes
+
+    def _make_plan_body(self, sp: StagePlan):
+        width = max(1, int(getattr(self.executor, "subflow_width", 1)))
+
+        def body():
+            if sp.has_sync:
+                sp.stage.prepare(sp.reader)
+            table = sp.build_table()
+            if table.num_runs == 0:
+                return None
+            chunks = table.split(width)
+            sp.num_chunks = len(chunks)
+            if len(chunks) == 1:
+                self._run_plan_chunk(sp, chunks[0])
+                return None
+            return [
+                (lambda c=c: self._run_plan_chunk(sp, c)) for c in chunks
+            ]
+
+        return body
+
+    def _run_plan_chunk(self, sp: StagePlan, chunk) -> None:
+        backend = self._backend
+        try:
+            backend.execute_plan(sp.reader, sp.stage.store, chunk)
+        except Exception:
+            # Environmental failures (a torn-down worker pool mid-run) must
+            # not lose the update: chunk writes are deterministic overwrites,
+            # so re-executing run-granular in-process is always safe.
+            if not backend.failure_safe:
+                raise
+            self._backend_fallbacks += 1
+            for spec in iter_table_runs(chunk):
+                execute_run(sp.reader, sp.stage.store, spec)
+
+    # -- legacy per-run task path (kernel_backend == "legacy") ----------------
+
+    def _execute_legacy(
+        self, affected: List[PartitionNode], stage_order: List[Stage]
+    ) -> int:
         readers: Dict[int, object] = {}
         for node in affected:
             if node.stage.uid not in readers:
@@ -989,6 +1112,28 @@ class QTaskSimulator(CircuitObserver):
         """
         return MemoryReport.from_stores(s.store for s in self.graph.stages)
 
+    def plan_report(self) -> PlanReport:
+        """Dispatch-overhead accounting of the plan pipeline.
+
+        The :meth:`memory_report` sibling for execution plans: plans
+        compiled, runs batched into them, executor-visible chunks, the
+        backend that executed them and how often execution fell back (an
+        unavailable requested backend at construction, or a runtime
+        failure of a failure-safe backend).  Under
+        ``kernel_backend="legacy"`` every counter stays zero and the
+        backend reads ``"legacy"``.
+        """
+        backend = self._backend
+        return PlanReport(
+            backend=backend.name if backend is not None else "legacy",
+            requested_backend=self.kernel_backend,
+            plans_built=self._plans_built,
+            runs_batched=self._runs_batched,
+            plan_chunks=self._plan_chunks,
+            backend_fallbacks=self._backend_fallbacks,
+            updates_planned=self._updates_planned,
+        )
+
     def statistics(self) -> Dict[str, object]:
         """Counters describing the simulator's current incremental state.
 
@@ -1020,6 +1165,7 @@ class QTaskSimulator(CircuitObserver):
                 "last_elapsed_seconds": self.last_update.elapsed_seconds,
             }
         )
+        stats.update(self.plan_report().as_dict())
         return stats
 
     def dump_graph(self, stream: TextIO) -> None:

@@ -25,12 +25,12 @@ import numpy as np
 from .blocks import BlockRange, aligned_block_runs, num_blocks
 from .classical import OutcomeRecord
 from .cow import BlockStore
+from .exec_plan import RUN_ACTION, RUN_COLLAPSE, RUN_COPY, RUN_SLICE, RunSpec
 from .gates import Action, Gate, MatVecAction, fuse_gate_actions
 from .kernels import (
     StateReader,
-    apply_action_run,
     apply_gate_dense,
-    collapse_run,
+    execute_run,
     measured_masses,
 )
 from .ops import CGate
@@ -104,11 +104,31 @@ class Stage:
         """True when this stage's input is the whole previous state vector."""
         return False
 
+    #: ``True`` when :meth:`emit_runs` depends only on the stage's bound
+    #: gates -- never on execution-time state (``prepare`` results, drawn
+    #: outcomes, classical bits).  Static stages can have their runs
+    #: compiled into an execution plan *before* the update runs.
+    plan_static: bool = False
+
+    def emit_runs(self, block_range: BlockRange) -> List[RunSpec]:
+        """The kernel runs recomputing one partition, as data.
+
+        This is the single shared path behind both execution modes: the
+        legacy per-run task path wraps each spec in a closure
+        (:meth:`block_tasks`), and the plan pipeline packs them into a
+        :class:`~repro.core.exec_plan.RunTable` for a kernel backend.
+        """
+        raise NotImplementedError
+
     def block_tasks(
         self, reader: StateReader, block_range: BlockRange
     ) -> List[Callable[[], None]]:
         """Callables that compute and store the blocks of one partition."""
-        raise NotImplementedError
+        store = self.store
+        return [
+            (lambda spec=spec: execute_run(reader, store, spec))
+            for spec in self.emit_runs(block_range)
+        ]
 
     def prepare(self, reader: StateReader) -> None:
         """Hook executed once per update before the stage's block tasks."""
@@ -135,18 +155,16 @@ class Stage:
             )
         self.store.write_range(0, arr)
 
-    def _run_tasks(self, make_body, block_range: BlockRange):
-        """One closure per aligned power-of-two run of ``block_range``."""
+    def _aligned_runs(self, block_range: BlockRange) -> List[Tuple[int, int]]:
+        """``(lo, hi)`` amplitude bounds of each aligned power-of-two run."""
         block_size = self.block_size
         dim = self.dim
-        tasks = []
-        for fb, lb in aligned_block_runs(
-            block_range.first, block_range.last, MAX_RUN_BLOCKS
-        ):
-            lo = fb * block_size
-            hi = min(dim, (lb + 1) * block_size) - 1
-            tasks.append(make_body(lo, hi))
-        return tasks
+        return [
+            (fb * block_size, min(dim, (lb + 1) * block_size) - 1)
+            for fb, lb in aligned_block_runs(
+                block_range.first, block_range.last, MAX_RUN_BLOCKS
+            )
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.label()}, seq={self.seq})"
@@ -156,6 +174,9 @@ class UnitaryStage(Stage):
     """A single non-superposition gate (permutation or diagonal action)."""
 
     kind = "unitary"
+    #: the bound action is fixed for the duration of an update, so the runs
+    #: can be compiled into the plan before execution starts
+    plan_static = True
 
     def __init__(
         self,
@@ -207,18 +228,13 @@ class UnitaryStage(Stage):
         clone._specs = self._specs
         return clone
 
-    def block_tasks(self, reader: StateReader, block_range: BlockRange):
+    def emit_runs(self, block_range: BlockRange) -> List[RunSpec]:
         qubits = self.qubits
         action = self.action
-        store = self.store
-
-        def make(lo: int, hi: int):
-            def body() -> None:
-                apply_action_run(reader, store, lo, hi, qubits, action)
-
-            return body
-
-        return self._run_tasks(make, block_range)
+        return [
+            RunSpec(RUN_ACTION, lo, hi, qubits, action)
+            for lo, hi in self._aligned_runs(block_range)
+        ]
 
     def retune(self, gate: Gate) -> bool:
         """Rebind to a retuned gate when the partition layout is unchanged.
@@ -439,33 +455,22 @@ class MatVecStage(Stage):
             state = apply_gate_dense(state, g, self.qubit_count)
         self._prepared = state
 
-    def block_tasks(self, reader: StateReader, block_range: BlockRange):
-        store = self.store
-
+    def emit_runs(self, block_range: BlockRange) -> List[RunSpec]:
+        # Emission happens strictly after prepare() (the sync node precedes
+        # every partition), so _prepared is final here; it is rebound (never
+        # mutated) by the next prepare(), so slice runs stay zero-copy safe.
         if self._prepared is not None:
             prepared = self._prepared
-
-            def make_copy(lo: int, hi: int):
-                def body() -> None:
-                    # prepared is rebound (never mutated) by the next
-                    # prepare(), so the store can keep zero-copy views of it
-                    store.write_range(lo, prepared[lo : hi + 1], copy=False)
-
-                return body
-
-            return self._run_tasks(make_copy, block_range)
-
+            return [
+                RunSpec(RUN_SLICE, lo, hi, (), prepared)
+                for lo, hi in self._aligned_runs(block_range)
+            ]
         qubits = self.combined_qubits()
-        matrix = self.combined_matrix()
-        action = MatVecAction(num_qubits=len(qubits), matrix=matrix)
-
-        def make(lo: int, hi: int):
-            def body() -> None:
-                apply_action_run(reader, store, lo, hi, qubits, action)
-
-            return body
-
-        return self._run_tasks(make, block_range)
+        action = MatVecAction(num_qubits=len(qubits), matrix=self.combined_matrix())
+        return [
+            RunSpec(RUN_ACTION, lo, hi, qubits, action)
+            for lo, hi in self._aligned_runs(block_range)
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -568,26 +573,17 @@ class _CollapseStage(DynamicStage):
     def _record_outcome(self, outcome: int) -> None:
         pass
 
-    def block_tasks(self, reader: StateReader, block_range: BlockRange):
-        # Executed strictly after prepare() (the sync node precedes every
+    def emit_runs(self, block_range: BlockRange) -> List[RunSpec]:
+        # Emitted strictly after prepare() (the sync node precedes every
         # partition), so the drawn outcome and scale are final here.
-        qubit = self.qubit
         outcome = self._outcome
-        scale = self._scale
-        move = self._move
-        store = self.store
         if outcome is None:  # pragma: no cover - defensive
             raise RuntimeError(f"{self!r} executed before its prepare()")
-
-        def make(lo: int, hi: int):
-            def body() -> None:
-                collapse_run(
-                    reader, store, lo, hi, qubit, outcome, scale, move=move
-                )
-
-            return body
-
-        return self._run_tasks(make, block_range)
+        op = (self.qubit, outcome, self._scale, self._move)
+        return [
+            RunSpec(RUN_COLLAPSE, lo, hi, (), op)
+            for lo, hi in self._aligned_runs(block_range)
+        ]
 
 
 class MeasureStage(_CollapseStage):
@@ -699,39 +695,24 @@ class ClassicallyControlledStage(DynamicStage):
             state = apply_gate_dense(state, self.gate, self.qubit_count)
         self._prepared = state
 
-    def block_tasks(self, reader: StateReader, block_range: BlockRange):
-        store = self.store
-
+    def emit_runs(self, block_range: BlockRange) -> List[RunSpec]:
+        # The condition (and, for superposition gates, the prepared vector)
+        # is resolved at emission time -- strictly after every controlling
+        # measurement ran, courtesy of the partition dependencies.
         if self.action.creates_superposition:
             prepared = self._prepared
             if prepared is None:  # pragma: no cover - defensive
                 raise RuntimeError(f"{self!r} executed before its prepare()")
-
-            def make_copy(lo: int, hi: int):
-                def body() -> None:
-                    store.write_range(lo, prepared[lo : hi + 1], copy=False)
-
-                return body
-
-            return self._run_tasks(make_copy, block_range)
-
-        qubits = self.qubits
-        action = self.action
+            return [
+                RunSpec(RUN_SLICE, lo, hi, (), prepared)
+                for lo, hi in self._aligned_runs(block_range)
+            ]
         if self.condition_met():
-
-            def make(lo: int, hi: int):
-                def body() -> None:
-                    apply_action_run(reader, store, lo, hi, qubits, action)
-
-                return body
-
-            return self._run_tasks(make, block_range)
-
-        def make_identity(lo: int, hi: int):
-            def body() -> None:
-                # read_range returns a fresh array, safe to adopt zero-copy
-                store.write_range(lo, reader.read_range(lo, hi), copy=False)
-
-            return body
-
-        return self._run_tasks(make_identity, block_range)
+            return [
+                RunSpec(RUN_ACTION, lo, hi, self.qubits, self.action)
+                for lo, hi in self._aligned_runs(block_range)
+            ]
+        return [
+            RunSpec(RUN_COPY, lo, hi, (), None)
+            for lo, hi in self._aligned_runs(block_range)
+        ]

@@ -45,6 +45,14 @@ class Executor(ABC):
     #: number of worker threads (1 for the sequential executor)
     num_workers: int = 1
 
+    #: how many subflow children a plan-granular task body should hand back:
+    #: the simulator's plan pipeline splits one stage's run table into at
+    #: most this many chunk subflows.  1 (sequential) keeps a stage's whole
+    #: table in one batched backend call -- exactly the submission shape the
+    #: batching kernels want; the work-stealing executor widens it to its
+    #: worker count so big tables still spread across the pool.
+    subflow_width: int = 1
+
     @abstractmethod
     def run(self, graph: TaskGraph) -> None:
         """Execute every task of ``graph`` respecting its dependencies."""
@@ -180,6 +188,7 @@ class WorkStealingExecutor(Executor):
     def __init__(self, num_workers: Optional[int] = None, *, spin_sleep: float = 5e-5) -> None:
         cpu = os.cpu_count() or 1
         self.num_workers = max(1, int(num_workers) if num_workers else cpu)
+        self.subflow_width = self.num_workers
         self._spin_sleep = spin_sleep
         self._scheduler: StealScheduler[_Work] = StealScheduler(self.num_workers)
         self._wakeup = threading.Condition()

@@ -54,6 +54,7 @@ class QTask:
         max_fused_qubits: int = 4,
         block_directory: bool = True,
         observable_cache: bool = True,
+        kernel_backend: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> None:
         self.circuit = Circuit(num_qubits, num_clbits=num_clbits)
@@ -67,6 +68,7 @@ class QTask:
             max_fused_qubits=max_fused_qubits,
             block_directory=block_directory,
             observable_cache=observable_cache,
+            kernel_backend=kernel_backend,
             seed=seed,
         )
         #: parent handle uid -> this session's handle (forked sessions only)
@@ -74,7 +76,12 @@ class QTask:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def fork(self, *, executor: Optional[Executor] = None) -> "QTask":
+    def fork(
+        self,
+        *,
+        executor: Optional[Executor] = None,
+        kernel_backend: Optional[str] = None,
+    ) -> "QTask":
         """A cheap child session sharing this session's state copy-on-write.
 
         The child has its own circuit (fresh handles), simulator, block
@@ -99,7 +106,9 @@ class QTask:
         before forking so the inherited state is well defined.
         """
         child = QTask.__new__(QTask)
-        child.simulator = self.simulator.fork(executor=executor)
+        child.simulator = self.simulator.fork(
+            executor=executor, kernel_backend=kernel_backend
+        )
         child.circuit = child.simulator.circuit
         child._fork_gate_map = child.simulator.forked_gate_map
         return child
@@ -388,13 +397,26 @@ class QTask:
         """
         return self.simulator.memory_report()
 
+    def plan_report(self):
+        """Dispatch-overhead accounting of the execution-plan pipeline.
+
+        The returned :class:`~repro.core.exec_plan.PlanReport` counts the
+        plans compiled across every update so far, the kernel runs batched
+        into them, the executor-visible chunks they were split into, the
+        backend that executed them and any fallbacks -- ``runs_per_plan``
+        is the dispatch work one executor task absorbs compared to the
+        legacy one-task-per-partition path.
+        """
+        return self.simulator.plan_report()
+
     def statistics(self) -> dict:
         """A flat dict snapshot of the simulator's incremental state.
 
         Includes the partition-graph shape (stages/nodes/edges/frontiers),
         every configuration knob (block size, workers, COW, fusion, block
-        directory, observable cache) and the last update's outcome -- the
-        record benchmarks and bug reports attach to a run.
+        directory, observable cache, kernel backend) and the last update's
+        outcome plus the plan-pipeline counters -- the record benchmarks
+        and bug reports attach to a run.
         """
         return self.simulator.statistics()
 

@@ -145,10 +145,16 @@ class TestManifest:
         manifest = checker.load_manifest(
             os.path.join(REPO_ROOT, "benchmarks", "manifest.json")
         )
+        # plan_batch keeps its speedup gate ARMED in CI: it A/Bs dispatch
+        # overhead within one process on one host, so unlike cross-host
+        # wall-clock comparisons it is robust to runner noise, and the plan
+        # pipeline's whole reason to exist is that threshold.
+        armed = {"plan_batch": "1.5"}
         for entry in manifest["benchmarks"]:
             assert os.path.exists(os.path.join(REPO_ROOT, entry["script"]))
             args = entry.get("args", [])
             # min-speedup 0 makes the benchmark's own `passed` accuracy-only
             assert "--min-speedup" in args
-            assert args[args.index("--min-speedup") + 1] == "0"
+            expected = armed.get(entry["name"], "0")
+            assert args[args.index("--min-speedup") + 1] == expected
             assert entry.get("accuracy_metrics"), entry["name"]

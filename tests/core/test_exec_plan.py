@@ -1,0 +1,195 @@
+"""Unit tests for the plan layer: run tables and frontier compilation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.exec_plan import (
+    RUN_ACTION,
+    RUN_COPY,
+    PlanReport,
+    RunSpec,
+    RunTable,
+    build_execution_plan,
+)
+from repro.core.gates import Gate
+from repro.core.simulator import QTaskSimulator
+
+
+def _spec(lo, hi, op, qubits=(0,), kind=RUN_ACTION):
+    return RunSpec(kind, lo, hi, qubits, op)
+
+
+# ---------------------------------------------------------------------------
+# RunTable
+# ---------------------------------------------------------------------------
+
+
+class TestRunTable:
+    def test_from_runs_packs_bounds(self):
+        op = object()
+        table = RunTable.from_runs([_spec(0, 3, op), _spec(8, 11, op)])
+        np.testing.assert_array_equal(table.los, [0, 8])
+        np.testing.assert_array_equal(table.his, [3, 11])
+        assert table.num_runs == 2
+
+    def test_from_runs_dedupes_shared_ops(self):
+        op_a, op_b = object(), object()
+        runs = [
+            _spec(0, 3, op_a),
+            _spec(4, 7, op_b),
+            _spec(8, 11, op_a),
+            _spec(12, 15, op_a),
+        ]
+        table = RunTable.from_runs(runs)
+        assert len(table.ops) == 2
+        np.testing.assert_array_equal(table.op_ids, [0, 1, 0, 0])
+
+    def test_same_payload_different_qubits_not_merged(self):
+        op = object()
+        table = RunTable.from_runs([_spec(0, 3, op, (0,)), _spec(4, 7, op, (1,))])
+        assert len(table.ops) == 2
+
+    def test_same_payload_different_kind_not_merged(self):
+        op = object()
+        table = RunTable.from_runs(
+            [_spec(0, 3, op, (), RUN_ACTION), _spec(4, 7, op, (), RUN_COPY)]
+        )
+        assert len(table.ops) == 2
+
+    def test_groups_yield_runs_by_op(self):
+        op_a, op_b = object(), object()
+        table = RunTable.from_runs(
+            [_spec(0, 3, op_a), _spec(4, 7, op_b), _spec(8, 11, op_a)]
+        )
+        got = {id(op.op): list(idx) for op, idx in table.groups()}
+        assert got == {id(op_a): [0, 2], id(op_b): [1]}
+
+    @pytest.mark.parametrize("parts", [1, 2, 3, 5, 100])
+    def test_split_covers_every_run_once(self, parts):
+        op = object()
+        table = RunTable.from_runs([_spec(4 * i, 4 * i + 3, op) for i in range(5)])
+        chunks = table.split(parts)
+        assert len(chunks) <= max(1, parts)
+        los = np.concatenate([c.los for c in chunks])
+        np.testing.assert_array_equal(los, table.los)
+        # the op table is shared by reference, not copied per chunk
+        assert all(c.ops is table.ops for c in chunks)
+
+    def test_split_empty_table(self):
+        table = RunTable.from_runs([])
+        assert table.num_runs == 0
+        assert len(table.split(4)) == 1
+
+
+# ---------------------------------------------------------------------------
+# build_execution_plan over a real partition graph
+# ---------------------------------------------------------------------------
+
+
+def _simulator(levels, num_qubits=4, **kwargs):
+    circuit = Circuit(num_qubits)
+    circuit.from_levels(levels)
+    kwargs.setdefault("block_size", 4)
+    kwargs.setdefault("kernel_backend", "legacy")
+    return QTaskSimulator(circuit, **kwargs)
+
+
+def _plan_for(sim):
+    affected = sim.graph.affected_nodes()
+    stage_order = sim.graph.stages
+    return (
+        build_execution_plan(
+            affected, lambda stage: sim._reader_for(stage, stage_order)
+        ),
+        affected,
+    )
+
+
+class TestBuildExecutionPlan:
+    def test_one_plan_per_stage(self):
+        sim = _simulator([[Gate("h", (q,)) for q in range(4)],
+                          [Gate("rz", (q,), (0.3,)) for q in range(4)]])
+        plan, affected = _plan_for(sim)
+        stage_uids = {node.stage.uid for node in affected}
+        assert plan.num_stages == len(stage_uids)
+        assert len({sp.stage.uid for sp in plan.stage_plans}) == plan.num_stages
+
+    def test_stage_plans_in_topological_stage_order(self):
+        sim = _simulator([[Gate("h", (0,))], [Gate("x", (0,))], [Gate("z", (0,))]])
+        plan, _ = _plan_for(sim)
+        seqs = [sp.stage.seq for sp in plan.stage_plans]
+        assert seqs == sorted(seqs)
+
+    def test_edges_point_forward_and_are_unique(self):
+        sim = _simulator(
+            [[Gate("h", (q,)) for q in range(4)], [Gate("cx", (0, 1))],
+             [Gate("cx", (2, 3))], [Gate("rz", (0,), (0.5,))]]
+        )
+        plan, _ = _plan_for(sim)
+        seq_of = {sp.stage.uid: sp.stage.seq for sp in plan.stage_plans}
+        assert len(set(plan.edges)) == len(plan.edges)
+        for pred, succ in plan.edges:
+            assert pred != succ
+            assert seq_of[pred] < seq_of[succ]
+
+    def test_static_stage_runs_frozen_at_build_time(self):
+        # z is diagonal -> UnitaryStage, whose emission is input-independent
+        sim = _simulator([[Gate("z", (0,))]])
+        plan, _ = _plan_for(sim)
+        (sp,) = plan.stage_plans
+        assert sp.stage.plan_static
+        assert sp._static_runs is not None
+        table = sp.build_table()
+        assert table.num_runs == len(sp._static_runs)
+        assert sp.emitted_runs == table.num_runs
+
+    def test_block_writes_match_affected_blocks(self):
+        sim = _simulator([[Gate("h", (q,)) for q in range(4)]])
+        plan, affected = _plan_for(sim)
+        expected = sum(
+            len(node.block_range) for node in affected if not node.is_sync
+        )
+        assert plan.block_writes == expected
+        assert plan.block_writes == sum(sp.block_writes for sp in plan.stage_plans)
+
+    def test_low_qubit_stage_folds_many_partitions_into_one_plan(self):
+        # A q0-diagonal gate on tiny blocks shatters into many partitions;
+        # the plan pipeline's whole point is that they become ONE stage plan.
+        sim = _simulator(
+            [[Gate("h", (q,)) for q in range(6)], [Gate("rz", (0,), (0.7,))]],
+            num_qubits=6,
+            block_size=4,
+        )
+        plan, affected = _plan_for(sim)
+        rz_nodes = [n for n in affected if n.stage.seq == 1 and not n.is_sync]
+        assert len(rz_nodes) > 1
+        rz_plans = [sp for sp in plan.stage_plans if sp.stage.seq == 1]
+        assert len(rz_plans) == 1
+        assert len(rz_plans[0].block_ranges) == len(rz_nodes)
+
+
+# ---------------------------------------------------------------------------
+# PlanReport
+# ---------------------------------------------------------------------------
+
+
+class TestPlanReport:
+    def test_runs_per_plan(self):
+        report = PlanReport(
+            backend="numpy",
+            requested_backend="auto",
+            plans_built=4,
+            runs_batched=40,
+            plan_chunks=4,
+            backend_fallbacks=0,
+            updates_planned=2,
+        )
+        assert report.runs_per_plan == 10.0
+        assert report.as_dict()["runs_per_plan"] == 10.0
+
+    def test_zero_plans_zero_ratio(self):
+        report = PlanReport("legacy", "legacy", 0, 0, 0, 0, 0)
+        assert report.runs_per_plan == 0.0
