@@ -25,6 +25,8 @@ Quick start::
 from .core.blocks import DEFAULT_BLOCK_SIZE
 from .core.circuit import Circuit
 from .core.classical import ClassicalRegister, OutcomeRecord
+from .core.exceptions import CheckpointError
+from .core.faults import FaultInjected, FaultPlan
 from .core.gates import Gate, gate_matrix
 from .core.simulator import QTaskSimulator, UpdateReport
 from .observables import PauliString, PauliSum
@@ -46,6 +48,9 @@ __all__ = [
     "gate_matrix",
     "PauliString",
     "PauliSum",
+    "CheckpointError",
+    "FaultInjected",
+    "FaultPlan",
     "DEFAULT_BLOCK_SIZE",
     "__version__",
 ]

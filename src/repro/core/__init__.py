@@ -12,6 +12,7 @@ from .cow import (
     StoreChain,
 )
 from .exceptions import (
+    CheckpointError,
     CircuitError,
     ExecutorError,
     GateArityError,
@@ -22,6 +23,7 @@ from .exceptions import (
     StaleHandleError,
     UnknownGateError,
 )
+from .faults import FaultInjected, FaultPlan
 from .gates import (
     Gate,
     GateSpec,
@@ -79,6 +81,9 @@ __all__ = [
     "StaleHandleError",
     "QasmSyntaxError",
     "ExecutorError",
+    "CheckpointError",
+    "FaultInjected",
+    "FaultPlan",
     "Gate",
     "GateSpec",
     "STANDARD_GATE_NAMES",

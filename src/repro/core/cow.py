@@ -56,6 +56,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import faults
 from .blocks import BlockRange, block_bounds, num_blocks, validate_block_size
 
 __all__ = [
@@ -189,6 +190,11 @@ class BlockStore:
         touch again -- the store then adopts ``values`` (or a view of it)
         without copying.
         """
+        # The publish fault site fires before any store mutation, so a
+        # failed publish leaves the store exactly as it was and the run
+        # that produced ``values`` can simply re-execute.
+        if faults.ACTIVE is not None:
+            faults.fire("cow.publish")
         arr = np.asarray(values, dtype=_DTYPE)
         if arr.shape != (self._block_len,):
             raise ValueError(
@@ -215,6 +221,9 @@ class BlockStore:
         once as a whole, never block by block.  Directory notification is
         batched: one update covers every newly owned block of the range.
         """
+        # Fires before any mutation; see write_block.
+        if faults.ACTIVE is not None:
+            faults.fire("cow.publish")
         if lo % self.block_size != 0:
             raise ValueError(f"range start {lo} is not block aligned")
         arr = np.asarray(values, dtype=_DTYPE)

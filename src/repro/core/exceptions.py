@@ -18,6 +18,7 @@ __all__ = [
     "StaleHandleError",
     "QasmSyntaxError",
     "ExecutorError",
+    "CheckpointError",
 ]
 
 
@@ -59,3 +60,12 @@ class QasmSyntaxError(QTaskError):
 
 class ExecutorError(QTaskError):
     """Raised by the task-parallel runtime on invalid graphs (e.g. cycles)."""
+
+
+class CheckpointError(QTaskError):
+    """Raised when a session checkpoint cannot be written or restored.
+
+    Covers unreadable files, bad magic/version, corrupt headers, truncated
+    payloads and per-block checksum mismatches -- a damaged checkpoint fails
+    loudly instead of resuming from garbage.
+    """

@@ -307,6 +307,14 @@ class PlanReport:
     plan_chunks: int
     backend_fallbacks: int
     updates_planned: int
+    #: per-run re-executions after an injected/environmental fault inside
+    #: the run-granular fallback loop
+    run_retries: int = 0
+    #: whole-update re-executions after a fault escaped every lower layer
+    update_retries: int = 0
+    #: circuit-breaker ladder transitions, oldest first; each entry is a
+    #: dict with ``from``/``to``/``reason``/``update`` keys
+    backend_transitions: Tuple[Dict[str, object], ...] = ()
 
     @property
     def runs_per_plan(self) -> float:
@@ -324,4 +332,7 @@ class PlanReport:
             "backend_fallbacks": self.backend_fallbacks,
             "updates_planned": self.updates_planned,
             "runs_per_plan": self.runs_per_plan,
+            "run_retries": self.run_retries,
+            "update_retries": self.update_retries,
+            "backend_transitions": list(self.backend_transitions),
         }

@@ -18,11 +18,15 @@ Three families of kernels mirror the paper's gate classification (§III.C):
 from __future__ import annotations
 
 import atexit
+import logging
 import os
+import time
 from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from . import faults
+from .faults import FaultInjected
 from .exec_plan import (
     RUN_ACTION,
     RUN_COLLAPSE,
@@ -68,6 +72,8 @@ __all__ = [
 ]
 
 _DTYPE = np.complex128
+
+logger = logging.getLogger(__name__)
 
 
 class StateReader(Protocol):
@@ -284,6 +290,8 @@ def execute_run(reader: StateReader, store, spec: RunSpec) -> None:
     around each spec).  Every backend's fallback path funnels through here,
     so the two execution modes share the exact kernels.
     """
+    if faults.ACTIVE is not None:
+        faults.fire("kernel.run")
     kind = spec.kind
     if kind == RUN_ACTION:
         apply_action_run(reader, store, spec.lo, spec.hi, spec.qubits, spec.op)
@@ -467,10 +475,15 @@ def apply_gate_dense(state: np.ndarray, gate, num_qubits: int) -> np.ndarray:
 # backends observe the same stage input and produce bit-identical output.
 
 #: optional dependency -- the numba backend degrades to unavailable when the
-#: import fails for any reason (missing wheel, broken LLVM, version skew)
+#: import fails (missing wheel, broken LLVM shared object, version skew);
+#: anything else propagates so a genuinely broken environment fails loudly.
 try:  # pragma: no cover - exercised only where numba is installed
     import numba as _numba
-except Exception:  # pragma: no cover - the common case in this container
+except ImportError:  # pragma: no cover - the common case in this container
+    _numba = None
+except (OSError, AttributeError) as _numba_exc:  # pragma: no cover
+    # A present-but-broken install (e.g. llvmlite loading a bad .so).
+    logger.warning("numba import failed, jit backend unavailable: %s", _numba_exc)
     _numba = None
 
 HAVE_NUMBA = _numba is not None
@@ -535,6 +548,10 @@ class KernelBackend:
 
     def close(self) -> None:
         """Release backend resources (no-op by default)."""
+
+    def backend_stats(self) -> Dict[str, int]:
+        """Informational counters merged into ``statistics()`` (may be empty)."""
+        return {}
 
 
 class NumpyBatchBackend(KernelBackend):
@@ -830,6 +847,29 @@ def _get_fork_pool(workers: int):
     return pool
 
 
+def _pool_alive(pool) -> bool:
+    """``True`` while every worker process of ``pool`` is still running.
+
+    The watchdog check: a SIGKILLed or OOM-killed worker shows up here as a
+    dead ``Process`` even while the pool object happily accepts new work
+    (plain ``multiprocessing.Pool`` repopulates lazily and loses any task
+    the dead worker held).
+    """
+    procs = getattr(pool, "_pool", None)
+    if not procs:
+        return False
+    return all(p.is_alive() for p in procs)
+
+
+def _respawn_fork_pool(workers: int):
+    """Tear down the shared pool for ``workers`` and start a fresh one."""
+    pool = _process_pools.pop(workers, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    return _get_fork_pool(workers)
+
+
 def shutdown_process_pools() -> None:
     """Terminate every shared fork pool (registered atexit)."""
     for pool in _process_pools.values():
@@ -866,12 +906,30 @@ class _OffsetReader:
 
 
 def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
-    """Worker body: apply classified actions to shipped source windows."""
+    """Worker body: apply classified actions to shipped source windows.
+
+    ``directive`` is the parent-side fault decision for this chunk (the
+    parent evaluates the plan so injection stays deterministic regardless
+    of pool scheduling): ``"raise"`` simulates a worker crash as a clean
+    exception, ``"kill"`` SIGKILLs this worker mid-chunk -- a genuine
+    abrupt death the parent-side watchdog/timeout must recover from.
+    """
     from multiprocessing import shared_memory
 
-    in_name, out_name, total, rows, ops = args
+    in_name, out_name, total, rows, ops, directive = args
+    kind, occurrence = directive if directive else (None, 0)
+    if kind == "kill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
     shm_in = shared_memory.SharedMemory(name=in_name)
-    shm_out = shared_memory.SharedMemory(name=out_name)
+    try:
+        shm_out = shared_memory.SharedMemory(name=out_name)
+    except OSError:
+        # Failing to attach the second segment must not leak the first:
+        # the child holds an mmap + fd on shm_in until close().
+        shm_in.close()
+        raise
     # Attaching registers the segments with this process's resource tracker,
     # which would double-count them against the parent's unlink; the parent
     # owns both segments' lifetimes, so hand tracking back immediately.
@@ -880,9 +938,13 @@ def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
 
         resource_tracker.unregister(shm_in._name, "shared_memory")
         resource_tracker.unregister(shm_out._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    except (ImportError, AttributeError, KeyError, ValueError) as exc:
+        # Tracker internals vary across CPython versions; an unregister
+        # miss only risks a spurious tracker warning at exit, never a leak.
+        logger.warning("shared-memory tracker unregister failed: %s", exc)
     try:
+        if kind == "raise":
+            raise FaultInjected("pool.worker", occurrence)
         src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
         out_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf)
         for offset, base_lo, lo, hi, op_id in rows:
@@ -907,6 +969,15 @@ class ProcessPoolBackend(KernelBackend):
     serialise/launch overhead dominates -- executes in-parent through the
     numpy backend.  Worker count comes from ``num_workers``, the
     ``QTASK_PROCESS_WORKERS`` environment variable, or ``os.cpu_count()``.
+
+    Every shipped table runs under a fault envelope: the blocking wait is
+    bounded by ``ship_timeout`` seconds, a failed attempt (worker
+    exception, SIGKILLed worker, broken pipe, timeout) is retried up to
+    ``max_attempts`` times with exponential backoff, and a watchdog checks
+    worker liveness before each attempt and respawns the shared fork pool
+    when any worker died.  Only after the last attempt fails does the
+    error propagate -- and the simulator then falls back to per-run
+    execution (``failure_safe``) and, repeatedly, down the backend ladder.
     """
 
     name = "process"
@@ -917,6 +988,9 @@ class ProcessPoolBackend(KernelBackend):
         num_workers: Optional[int] = None,
         *,
         min_ship_amps: int = 1 << 14,
+        ship_timeout: float = 60.0,
+        max_attempts: int = 3,
+        retry_backoff: float = 0.05,
     ) -> None:
         if not hasattr(os, "fork"):
             raise BackendUnavailable(
@@ -927,15 +1001,31 @@ class ProcessPoolBackend(KernelBackend):
             num_workers = int(env) if env else (os.cpu_count() or 1)
         self.num_workers = max(1, int(num_workers))
         self.min_ship_amps = int(min_ship_amps)
+        self.ship_timeout = float(ship_timeout)
+        self.max_attempts = max(1, int(max_attempts))
+        self.retry_backoff = float(retry_backoff)
         self._inner = NumpyBatchBackend()
         #: informational counters (read by plan statistics; GIL-atomic
         #: increments are accurate enough for reporting)
         self.shipped_runs = 0
         self.local_runs = 0
+        self.retries = 0
+        self.respawns = 0
+        self.timeouts = 0
         try:
             self._pool = _get_fork_pool(self.num_workers)
-        except Exception as exc:
-            raise BackendUnavailable(f"could not start fork pool: {exc}")
+        except (OSError, ValueError, RuntimeError) as exc:
+            logger.warning("could not start fork pool: %s", exc)
+            raise BackendUnavailable(f"could not start fork pool: {exc}") from exc
+
+    def backend_stats(self) -> Dict[str, int]:
+        return {
+            "shipped_runs": self.shipped_runs,
+            "local_runs": self.local_runs,
+            "pool_retries": self.retries,
+            "pool_respawns": self.respawns,
+            "pool_timeouts": self.timeouts,
+        }
 
     def _shippable(self, spec: RunSpec) -> Optional[int]:
         """Source-window base of a worker-safe run, else ``None``."""
@@ -950,8 +1040,109 @@ class ProcessPoolBackend(KernelBackend):
                 return mirror[0]
         return None
 
-    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+    def _ensure_pool(self) -> None:
+        """Watchdog: respawn the shared fork pool if any worker died."""
+        if not _pool_alive(self._pool):
+            logger.warning(
+                "process backend found dead pool worker(s); respawning pool"
+            )
+            self._pool = _respawn_fork_pool(self.num_workers)
+            self.respawns += 1
+
+    def _abandon_pool(self) -> None:
+        """Replace the pool outright (used after a hung/timed-out map)."""
+        self._pool = _respawn_fork_pool(self.num_workers)
+        self.respawns += 1
+
+    @staticmethod
+    def _release_segments(*segments) -> None:
+        """Close + unlink each segment independently.
+
+        Each step runs in its own ``try`` so a failure on one segment (or a
+        double-unlink on a retry path) can never leak the others into
+        /dev/shm.
+        """
+        for shm in segments:
+            if shm is None:
+                continue
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - close on a dead map
+                pass
+            try:
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def _ship_once(self, reader, store, shippable, ops, total) -> None:
+        """One ship/execute/receive attempt over fresh shm segments."""
+        import multiprocessing as mp
         from multiprocessing import shared_memory
+
+        nbytes = total * np.dtype(_DTYPE).itemsize
+        shm_in = None
+        shm_out = None
+        try:
+            shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
+            shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+            src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
+            for offset, base_lo, lo, hi, _ in shippable:
+                n = hi - lo + 1
+                src_all[offset : offset + n] = reader.read_range(
+                    base_lo, base_lo + n - 1
+                )
+            if faults.ACTIVE is not None:
+                faults.fire("pool.ship")
+            stride = -(-len(shippable) // self.num_workers)
+            chunks = [
+                shippable[i : i + stride]
+                for i in range(0, len(shippable), stride)
+            ]
+            jobs = []
+            for chunk in chunks:
+                # Worker-fault decisions are drawn in the parent and shipped
+                # with the chunk so pool scheduling cannot perturb the seeded
+                # stream; ``pool.worker.kill`` turns into a real SIGKILL.
+                directive = None
+                if faults.ACTIVE is not None and faults.is_armed():
+                    hit, occ = faults.ACTIVE.should_fire("pool.worker.kill")
+                    if hit:
+                        directive = ("kill", occ)
+                    else:
+                        hit, occ = faults.ACTIVE.should_fire("pool.worker")
+                        if hit:
+                            directive = ("raise", occ)
+                jobs.append(
+                    (shm_in.name, shm_out.name, total, chunk, ops, directive)
+                )
+            try:
+                self._pool.map_async(_pool_apply_chunk, jobs).get(
+                    timeout=self.ship_timeout
+                )
+            except mp.TimeoutError:
+                # A SIGKILLed worker's tasks are silently lost by
+                # multiprocessing.Pool; the bounded wait is what turns that
+                # hang into a retryable failure.  Abandon the wedged pool.
+                self.timeouts += 1
+                self._abandon_pool()
+                raise
+            if faults.ACTIVE is not None:
+                faults.fire("pool.receive")
+            # One heap copy of the shared output, then view-publish per run
+            # (the store must never keep views into soon-unlinked shm).
+            out_all = np.array(
+                np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf),
+                copy=True,
+            )
+            for offset, _, lo, hi, _ in shippable:
+                n = hi - lo + 1
+                store.write_range(lo, out_all[offset : offset + n], copy=False)
+        finally:
+            self._release_segments(shm_in, shm_out)
+
+    def execute_plan(self, reader: StateReader, store, table: RunTable) -> None:
+        import multiprocessing as mp
+        import multiprocessing.pool as mp_pool
 
         shippable: List[Tuple[int, int, int, int, int]] = []  # rows
         ops: List[Tuple[Tuple[int, ...], object]] = []
@@ -979,42 +1170,40 @@ class ProcessPoolBackend(KernelBackend):
             self._inner.execute_plan(reader, store, table)
             return
 
-        nbytes = total * np.dtype(_DTYPE).itemsize
-        shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
-        shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
-        try:
-            src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
-            for offset, base_lo, lo, hi, _ in shippable:
-                n = hi - lo + 1
-                src_all[offset : offset + n] = reader.read_range(
-                    base_lo, base_lo + n - 1
+        retryable = (
+            FaultInjected,
+            mp.TimeoutError,
+            OSError,
+            ValueError,  # "Pool not running" after a concurrent teardown
+            mp_pool.MaybeEncodingError,
+        )
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            self._ensure_pool()
+            try:
+                self._ship_once(reader, store, shippable, ops, total)
+                break
+            except retryable as exc:
+                last_exc = exc
+                if attempt + 1 >= self.max_attempts:
+                    logger.warning(
+                        "process backend giving up after %d attempt(s): %s",
+                        self.max_attempts,
+                        exc,
+                    )
+                    raise
+                self.retries += 1
+                delay = self.retry_backoff * (2**attempt)
+                logger.warning(
+                    "process backend attempt %d/%d failed (%s); "
+                    "retrying in %.3fs",
+                    attempt + 1,
+                    self.max_attempts,
+                    exc,
+                    delay,
                 )
-            stride = -(-len(shippable) // self.num_workers)
-            chunks = [
-                shippable[i : i + stride]
-                for i in range(0, len(shippable), stride)
-            ]
-            self._pool.map(
-                _pool_apply_chunk,
-                [
-                    (shm_in.name, shm_out.name, total, chunk, ops)
-                    for chunk in chunks
-                ],
-            )
-            # One heap copy of the shared output, then view-publish per run
-            # (the store must never keep views into soon-unlinked shm).
-            out_all = np.array(
-                np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf),
-                copy=True,
-            )
-            for offset, _, lo, hi, _ in shippable:
-                n = hi - lo + 1
-                store.write_range(lo, out_all[offset : offset + n], copy=False)
-        finally:
-            shm_in.close()
-            shm_out.close()
-            shm_in.unlink()
-            shm_out.unlink()
+                if delay > 0:
+                    time.sleep(delay)
         self.shipped_runs += len(shippable)
         self.local_runs += len(local)
         for spec in local:
@@ -1045,8 +1234,12 @@ def make_backend(
     task path.  Requesting an unavailable backend (numba without the
     package, process without fork) substitutes numpy and reports
     ``fell_back=True`` instead of raising, so a knob setting is portable
-    across hosts.
+    across hosts.  A :class:`KernelBackend` *instance* passes through
+    unchanged, so callers can inject a pre-configured backend (custom
+    timeouts, ship thresholds) where a name would lose the knobs.
     """
+    if isinstance(name, KernelBackend):
+        return name, False
     if name is None:
         name = os.environ.get("QTASK_KERNEL_BACKEND", "auto")
     name = str(name).lower()
@@ -1062,7 +1255,12 @@ def make_backend(
         cls = NumbaBackend if name == "numba" else ProcessPoolBackend
         try:
             return cls(**kwargs), False
-        except BackendUnavailable:
+        except BackendUnavailable as exc:
+            logger.warning(
+                "kernel backend %r unavailable (%s); substituting numpy",
+                name,
+                exc,
+            )
             return NumpyBatchBackend(), True
     raise ValueError(
         f"unknown kernel backend {name!r}; expected one of "

@@ -17,9 +17,11 @@ a circuit and a simulator behind the paper's Table-II API.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
@@ -27,6 +29,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Text
 import numpy as np
 
 from ..parallel import Executor, SequentialExecutor, TaskGraph, make_executor
+from . import faults
+from .faults import FaultInjected
 from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_size
 from .circuit import Circuit, CircuitObserver, GateHandle, NetHandle
 from .classical import OutcomeRecord
@@ -41,7 +45,15 @@ from .exceptions import CircuitError
 from .exec_plan import ExecutionPlan, PlanReport, StagePlan, build_execution_plan
 from .gates import Gate, compose_actions, is_superposition_gate
 from .graph import PartitionGraph, PartitionNode
-from .kernels import KernelBackend, execute_run, iter_table_runs, make_backend
+from .kernels import (
+    HAVE_NUMBA,
+    KernelBackend,
+    NumbaBackend,
+    NumpyBatchBackend,
+    execute_run,
+    iter_table_runs,
+    make_backend,
+)
 from .ops import CGate, MeasureOp, ResetOp, is_dynamic_op
 from .stage import (
     ClassicallyControlledStage,
@@ -55,6 +67,18 @@ from .stage import (
 )
 
 __all__ = ["UpdateReport", "QTaskSimulator"]
+
+logger = logging.getLogger(__name__)
+
+#: circuit-breaker degradation ladder, most capable first; a tripped
+#: breaker quarantines the current backend and walks one rung down
+_BACKEND_LADDER: Tuple[str, ...] = ("process", "numba", "numpy", "legacy")
+
+#: bounded per-run re-executions inside the run-granular fallback loop
+_RUN_FAULT_RETRIES = 5
+
+#: bounded whole-update re-executions (the outermost recovery layer)
+_UPDATE_FAULT_RETRIES = 3
 
 
 @dataclass
@@ -131,6 +155,7 @@ class QTaskSimulator(CircuitObserver):
         self._plan_chunks = 0
         self._updates_planned = 0
         self._backend_fallbacks = 1 if fell_back else 0
+        self._init_fault_tolerance()
 
         self._initial = InitialStateStore(self.dim, self.block_size)
         #: block-ownership index: block id -> stages holding it, seq-sorted.
@@ -188,6 +213,17 @@ class QTaskSimulator(CircuitObserver):
 
         circuit.register_observer(self)
         self._sync_existing()
+
+    def _init_fault_tolerance(self) -> None:
+        """Per-session recovery state: retry counters + the circuit breaker."""
+        #: consecutive chunk failures that trip the breaker; tune per session
+        self.breaker_threshold = 3
+        self._breaker_lock = threading.Lock()
+        self._consecutive_chunk_failures = 0
+        #: ladder transitions, oldest first ({from, to, reason, update})
+        self._backend_transitions: List[Dict[str, object]] = []
+        self._run_retries = 0
+        self._update_retries = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -286,6 +322,7 @@ class QTaskSimulator(CircuitObserver):
         child._runs_batched = 0
         child._plan_chunks = 0
         child._updates_planned = 0
+        child._init_fault_tolerance()
         child._initial = InitialStateStore(child.dim, child.block_size)
         child._directory = BlockDirectory(child._initial)
         child.graph = PartitionGraph(
@@ -818,7 +855,7 @@ class QTaskSimulator(CircuitObserver):
             was_incremental=self._num_updates > 0,
         )
         if affected:
-            report.executed_block_writes = self._execute(affected)
+            report.executed_block_writes = self._execute_with_recovery(affected)
             if self._dirty_listeners:
                 if self.copy_on_write:
                     dirty: Set[int] = set()
@@ -834,6 +871,41 @@ class QTaskSimulator(CircuitObserver):
         self.last_update = report
         self._num_updates += 1
         return report
+
+    def _execute_with_recovery(self, affected: List[PartitionNode]) -> int:
+        """Run ``_execute`` inside the fault envelope.
+
+        The armed scope is what lets an installed :class:`FaultPlan` fire
+        inside this update (and nowhere else).  The bounded retry is the
+        outermost recovery layer: stage outputs are deterministic overwrites
+        of their own stores, so re-executing the whole affected cone is
+        always safe -- provided the classical state is first rolled back to
+        the attempt boundary, because a re-executed collapse would otherwise
+        advance its keyed stream one extra draw and fork the trajectory away
+        from a clean run's.  Anything the per-run and chunk-level layers
+        could not absorb -- including an exhausted backend ladder -- lands
+        here before giving up.
+        """
+        if faults.ACTIVE is None:
+            return self._execute(affected)
+        with faults.armed():
+            attempt = 0
+            rollback = self.outcomes.snapshot()
+            while True:
+                try:
+                    return self._execute(affected)
+                except FaultInjected as exc:
+                    attempt += 1
+                    if attempt > _UPDATE_FAULT_RETRIES:
+                        raise
+                    self.outcomes.restore(rollback)
+                    self._update_retries += 1
+                    logger.warning(
+                        "update attempt %d failed (%s); re-executing the "
+                        "affected cone",
+                        attempt,
+                        exc,
+                    )
 
     def _reader_for(self, stage: Stage, stage_order: List[Stage]):
         """The stage-input view: everything written strictly before ``stage``.
@@ -896,12 +968,39 @@ class QTaskSimulator(CircuitObserver):
             block_writes += self._fill_dense_blocks(affected, readers)
         return block_writes
 
+    def _sync_prepare_runner(self, stage: Stage, reader):
+        """An idempotent ``prepare`` thunk for sync (collapse) stages.
+
+        Executor-level fault retries re-run whole task bodies; a collapse
+        stage's ``prepare`` draws from a keyed stream, so a naive re-run
+        would consume one extra draw and fork the trajectory away from a
+        clean run's.  The thunk snapshots the classical state on first
+        entry and rolls back before every re-entry, making re-preparation
+        redraw the identical outcome.  Safe because sync stages are
+        totally ordered by their all-blocks dependencies: no other
+        record-writing task can be in flight concurrently.
+        """
+        snap: List[tuple] = []
+
+        def run_prepare():
+            if faults.ACTIVE is not None:
+                if snap:
+                    self.outcomes.restore(snap[0])
+                else:
+                    snap.append(self.outcomes.snapshot())
+            stage.prepare(reader)
+
+        return run_prepare
+
     def _make_plan_body(self, sp: StagePlan):
         width = max(1, int(getattr(self.executor, "subflow_width", 1)))
+        run_prepare = (
+            self._sync_prepare_runner(sp.stage, sp.reader) if sp.has_sync else None
+        )
 
         def body():
-            if sp.has_sync:
-                sp.stage.prepare(sp.reader)
+            if run_prepare is not None:
+                run_prepare()
             table = sp.build_table()
             if table.num_runs == 0:
                 return None
@@ -918,17 +1017,99 @@ class QTaskSimulator(CircuitObserver):
 
     def _run_plan_chunk(self, sp: StagePlan, chunk) -> None:
         backend = self._backend
+        if backend is None:
+            # The breaker degraded this session to legacy mid-update;
+            # remaining chunks of the in-flight plan run run-granular.
+            self._run_chunk_fallback(sp, chunk)
+            return
         try:
             backend.execute_plan(sp.reader, sp.stage.store, chunk)
-        except Exception:
-            # Environmental failures (a torn-down worker pool mid-run) must
-            # not lose the update: chunk writes are deterministic overwrites,
-            # so re-executing run-granular in-process is always safe.
-            if not backend.failure_safe:
+        except Exception as exc:
+            # Environmental failures (a torn-down worker pool mid-run) and
+            # injected faults must not lose the update: chunk writes are
+            # deterministic overwrites, so re-executing run-granular
+            # in-process is always safe.  Genuine programming errors from a
+            # non-failure-safe backend still propagate.
+            if not backend.failure_safe and not isinstance(exc, FaultInjected):
                 raise
             self._backend_fallbacks += 1
-            for spec in iter_table_runs(chunk):
-                execute_run(sp.reader, sp.stage.store, spec)
+            with self._breaker_lock:
+                self._consecutive_chunk_failures += 1
+                tripped = (
+                    self._consecutive_chunk_failures >= self.breaker_threshold
+                )
+                if tripped:
+                    self._degrade_backend(f"{type(exc).__name__}: {exc}")
+            if not tripped:
+                logger.warning(
+                    "backend %r failed on a plan chunk (%s); falling back "
+                    "to run-granular execution",
+                    backend.name,
+                    exc,
+                )
+            self._run_chunk_fallback(sp, chunk)
+        else:
+            with self._breaker_lock:
+                self._consecutive_chunk_failures = 0
+
+    def _run_chunk_fallback(self, sp: StagePlan, chunk) -> None:
+        """Run-granular chunk execution with bounded per-run fault retries.
+
+        Each run is retried in place on an injected fault (it redraws the
+        site streams, so retries converge); past the bound the fault
+        propagates to the update-level retry.
+        """
+        for spec in iter_table_runs(chunk):
+            attempt = 0
+            while True:
+                try:
+                    execute_run(sp.reader, sp.stage.store, spec)
+                    break
+                except FaultInjected:
+                    attempt += 1
+                    if attempt > _RUN_FAULT_RETRIES:
+                        raise
+                    self._run_retries += 1
+
+    def _degrade_backend(self, reason: str) -> bool:
+        """Walk the breaker ladder one rung down (caller holds breaker lock).
+
+        Quarantines the current backend for the rest of this session and
+        swaps in the next constructible rung of ``_BACKEND_LADDER``; the
+        transition is recorded for :meth:`plan_report`/:meth:`statistics`.
+        Returns ``False`` only from the bottom rung (legacy), which cannot
+        fail environmentally and has nowhere left to go.
+        """
+        current = self._backend.name if self._backend is not None else "legacy"
+        try:
+            idx = _BACKEND_LADDER.index(current)
+        except ValueError:
+            idx = 0  # custom backend: degrade into the standard ladder
+        for name in _BACKEND_LADDER[idx + 1 :]:
+            if name == "numba" and not HAVE_NUMBA:
+                continue
+            if name == "legacy":
+                self._backend = None
+            elif name == "numba":  # pragma: no cover - needs numba
+                self._backend = NumbaBackend()
+            else:
+                self._backend = NumpyBatchBackend()
+            self._consecutive_chunk_failures = 0
+            transition = {
+                "from": current,
+                "to": name,
+                "reason": reason,
+                "update": self._num_updates,
+            }
+            self._backend_transitions.append(transition)
+            logger.warning(
+                "circuit breaker tripped: backend %r -> %r (%s)",
+                current,
+                name,
+                reason,
+            )
+            return True
+        return False
 
     # -- legacy per-run task path (kernel_backend == "legacy") ----------------
 
@@ -970,12 +1151,7 @@ class QTaskSimulator(CircuitObserver):
         return block_writes
 
     def _make_sync_body(self, node: PartitionNode, reader):
-        stage = node.stage
-
-        def body():
-            stage.prepare(reader)
-
-        return body
+        return self._sync_prepare_runner(node.stage, reader)
 
     def _make_partition_body(self, node: PartitionNode, reader):
         stage = node.stage
@@ -1124,14 +1300,20 @@ class QTaskSimulator(CircuitObserver):
         backend reads ``"legacy"``.
         """
         backend = self._backend
+        requested = self.kernel_backend
+        if isinstance(requested, KernelBackend):
+            requested = requested.name
         return PlanReport(
             backend=backend.name if backend is not None else "legacy",
-            requested_backend=self.kernel_backend,
+            requested_backend=requested,
             plans_built=self._plans_built,
             runs_batched=self._runs_batched,
             plan_chunks=self._plan_chunks,
             backend_fallbacks=self._backend_fallbacks,
             updates_planned=self._updates_planned,
+            run_retries=self._run_retries,
+            update_retries=self._update_retries,
+            backend_transitions=tuple(dict(t) for t in self._backend_transitions),
         )
 
     def statistics(self) -> Dict[str, object]:
@@ -1166,6 +1348,12 @@ class QTaskSimulator(CircuitObserver):
             }
         )
         stats.update(self.plan_report().as_dict())
+        # Recovery visibility: executor-level fault retries plus whatever
+        # attempt/respawn counters the kernel backend keeps (the process
+        # backend reports shipping retries, pool respawns and timeouts).
+        stats["task_retries"] = getattr(self.executor, "task_retries", 0)
+        if self._backend is not None:
+            stats.update(self._backend.backend_stats())
         return stats
 
     def dump_graph(self, stream: TextIO) -> None:

@@ -1,0 +1,443 @@
+"""Durable session checkpoints: serialize a session, resume after a crash.
+
+A checkpoint captures everything a :class:`~repro.qtask.QTask` session needs
+to resume *without re-simulating*: the circuit (nets, gates, dynamic ops
+with their program-order ``op_index``, classical registers), the simulator's
+configuration knobs, the global stage order with each stage's kind and
+member gates, every materialised copy-on-write block (with a per-block CRC),
+and the trajectory's classical state (seed, bits, recorded outcomes).
+
+Restoration deliberately does **not** replay circuit modifiers through the
+observer protocol: the original session's stage layout is a product of its
+full edit history (fusion decisions, within-net heuristics, retunes), which
+the final circuit alone cannot reproduce.  Instead the stage table is
+reconstructed *directly*, in the checkpointed global order, the way
+:meth:`~repro.core.simulator.QTaskSimulator.fork` rebuilds a child -- so the
+loaded blocks land in stores whose sequence positions match the ownership
+the block directory will derive.
+
+File format (version 1)::
+
+    8 bytes   magic  b"QTCKPT01"
+    8 bytes   header length H (little-endian uint64)
+    H bytes   JSON header (utf-8)
+    N bytes   concatenated raw block payloads, complex128 little-endian,
+              in header order (stage order, then ascending block id)
+
+Every block carries a ``zlib.crc32`` in the header; a truncated or
+bit-flipped file raises :class:`~repro.core.exceptions.CheckpointError`
+instead of silently resuming from garbage.  Writes are atomic (tmp file +
+``os.replace``) so a crash *during* checkpointing never clobbers the
+previous good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..parallel import Executor, make_executor
+from .blocks import BlockRange, num_blocks
+from .circuit import Circuit, GateHandle
+from .classical import OutcomeRecord
+from .cow import BlockDirectory, InitialStateStore
+from .exceptions import CheckpointError
+from .gates import Gate
+from .graph import PartitionGraph
+from .kernels import KernelBackend, make_backend
+from .ops import CGate, MeasureOp, ResetOp
+from .simulator import QTaskSimulator, UpdateReport
+from .stage import (
+    ClassicallyControlledStage,
+    FusedUnitaryStage,
+    MatVecStage,
+    MeasureStage,
+    ResetStage,
+    UnitaryStage,
+)
+
+__all__ = ["CHECKPOINT_MAGIC", "save_checkpoint", "restore_simulator"]
+
+CHECKPOINT_MAGIC = b"QTCKPT01"
+_VERSION = 1
+_DTYPE = np.complex128
+_LEN_STRUCT = struct.Struct("<Q")
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+
+def _encode_op(gate) -> Dict[str, object]:
+    """One circuit operation as a JSON-safe dict (kind tag + payload)."""
+    if isinstance(gate, MeasureOp):
+        return {"t": "m", "q": gate.qubit, "c": gate.clbit, "i": gate.op_index}
+    if isinstance(gate, ResetOp):
+        return {"t": "r", "q": gate.qubit, "i": gate.op_index}
+    if isinstance(gate, CGate):
+        return {
+            "t": "c",
+            "n": gate.gate.name,
+            "q": list(gate.gate.qubits),
+            "p": list(gate.gate.params),
+            "b": list(gate.condition_bits),
+            "v": gate.condition_value,
+            "i": gate.op_index,
+        }
+    return {"t": "g", "n": gate.name, "q": list(gate.qubits), "p": list(gate.params)}
+
+
+def _build_header(sim: QTaskSimulator) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """The JSON header plus the block arrays, in payload order."""
+    circuit = sim.circuit
+    requested = sim.kernel_backend
+    if isinstance(requested, KernelBackend):
+        requested = requested.name
+
+    nets_json: List[List[Dict[str, object]]] = []
+    flat_index: Dict[int, int] = {}
+    for net in circuit.nets():
+        entries = []
+        for handle in net.gates:
+            flat_index[handle.uid] = len(flat_index)
+            entries.append(_encode_op(handle.gate))
+        nets_json.append(entries)
+
+    net_position = {net.uid: i for i, net in enumerate(circuit.nets())}
+    block_len = min(sim.dim, sim.block_size)
+    stages_json: List[Dict[str, object]] = []
+    payload: List[np.ndarray] = []
+    for stage in sim.graph.stages:
+        members = sim._stage_handles.get(stage.uid)
+        if members is None:
+            raise CheckpointError(
+                f"stage {stage!r} has no member bookkeeping; session is "
+                "inconsistent and cannot be checkpointed"
+            )
+        blocks_json: List[List[int]] = []
+        store = stage.store
+        for b in store.stored_blocks():
+            arr = store.get_block(b)
+            arr = np.ascontiguousarray(arr, dtype=_DTYPE)
+            if arr.shape != (block_len,):  # pragma: no cover - defensive
+                raise CheckpointError(
+                    f"stage {stage!r} block {b} has shape {arr.shape}, "
+                    f"expected ({block_len},)"
+                )
+            blocks_json.append([int(b), zlib.crc32(arr.tobytes()) & 0xFFFFFFFF])
+            payload.append(arr)
+        entry: Dict[str, object] = {
+            "kind": stage.kind,
+            "gates": [flat_index[h.uid] for h in members],
+            "net": net_position[sim._stage_net[stage.uid]],
+            "blocks": blocks_json,
+        }
+        if isinstance(stage, MatVecStage):
+            entry["combine_limit"] = stage.combine_limit
+        stages_json.append(entry)
+
+    outcomes = sim.outcomes
+    registers = [
+        {"name": r.name, "offset": r.offset, "size": r.size}
+        for r in circuit.classical_registers()
+    ]
+    anon_clbits = circuit.num_clbits - sum(r["size"] for r in registers)
+
+    header: Dict[str, object] = {
+        "version": _VERSION,
+        "num_qubits": circuit.num_qubits,
+        "anon_clbits": anon_clbits,
+        "registers": registers,
+        "allow_net_dependencies": circuit.allow_net_dependencies,
+        "knobs": {
+            "block_size": sim.block_size,
+            "copy_on_write": sim.copy_on_write,
+            "fusion": sim.fusion,
+            "max_fused_qubits": sim.max_fused_qubits,
+            "block_directory": sim.block_directory,
+            "observable_cache": sim.observable_cache,
+            "kernel_backend": requested,
+        },
+        "num_updates": sim._num_updates,
+        "nets": nets_json,
+        "stages": stages_json,
+        "outcomes": {
+            "num_bits": outcomes.num_bits,
+            "seed": outcomes.seed,
+            "bits": sorted(outcomes._bits.items()),
+            "ops": sorted(outcomes._op_outcomes.items()),
+            "forced": sorted(outcomes._forced.items()),
+        },
+    }
+    return header, payload
+
+
+def save_checkpoint(sim: QTaskSimulator, path: str) -> str:
+    """Serialize ``sim`` to ``path`` (atomically) and return the path.
+
+    Pending circuit modifiers are flushed first (``update_state``) so the
+    checkpoint always describes a fully computed state -- the same contract
+    session forking uses.
+    """
+    if sim.graph.frontiers or sim._num_updates == 0:
+        sim.update_state()
+    header, payload = _build_header(sim)
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(CHECKPOINT_MAGIC)
+            fh.write(_LEN_STRUCT.pack(len(header_bytes)))
+            fh.write(header_bytes)
+            for arr in payload:
+                fh.write(arr.tobytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# restoration
+# ---------------------------------------------------------------------------
+
+
+def _read_file(path: str) -> Tuple[Dict[str, object], bytes]:
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    prefix = len(CHECKPOINT_MAGIC) + _LEN_STRUCT.size
+    if len(raw) < prefix or raw[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path!r} is not a qTask checkpoint (bad magic)")
+    (header_len,) = _LEN_STRUCT.unpack(
+        raw[len(CHECKPOINT_MAGIC) : prefix]
+    )
+    if len(raw) < prefix + header_len:
+        raise CheckpointError(f"checkpoint {path!r} is truncated (header)")
+    try:
+        header = json.loads(raw[prefix : prefix + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} has a corrupt header: {exc}"
+        ) from exc
+    if header.get("version") != _VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has unsupported version "
+            f"{header.get('version')!r} (expected {_VERSION})"
+        )
+    return header, raw[prefix + header_len :]
+
+
+def _rebuild_circuit(header: Dict[str, object]) -> Tuple[Circuit, List[GateHandle]]:
+    circuit = Circuit(
+        int(header["num_qubits"]),
+        num_clbits=int(header["anon_clbits"]),
+        allow_net_dependencies=bool(header["allow_net_dependencies"]),
+    )
+    for reg in header["registers"]:
+        created = circuit.add_classical_register(reg["name"], int(reg["size"]))
+        if created.offset != int(reg["offset"]):  # pragma: no cover - defensive
+            raise CheckpointError(
+                f"classical register {reg['name']!r} landed at offset "
+                f"{created.offset}, checkpoint says {reg['offset']}"
+            )
+    handles: List[GateHandle] = []
+    for net_entries in header["nets"]:
+        net = circuit.insert_net()
+        for e in net_entries:
+            kind = e["t"]
+            if kind == "g":
+                op = Gate(e["n"], tuple(e["q"]), tuple(e["p"]))
+            elif kind == "m":
+                op = MeasureOp(e["q"], e["c"])
+                op.op_index = int(e["i"])
+            elif kind == "r":
+                op = ResetOp(e["q"])
+                op.op_index = int(e["i"])
+            elif kind == "c":
+                op = CGate(
+                    Gate(e["n"], tuple(e["q"]), tuple(e["p"])),
+                    tuple(e["b"]),
+                    int(e["v"]),
+                )
+                op.op_index = int(e["i"])
+            else:
+                raise CheckpointError(f"unknown operation kind {kind!r}")
+            handles.append(circuit.insert_operation(op, net))
+    return circuit, handles
+
+
+def _build_stage(entry, members: List[GateHandle], sim: QTaskSimulator):
+    kind = entry["kind"]
+    args = (sim.circuit.num_qubits, sim.block_size, sim.copy_on_write)
+    try:
+        if kind == "unitary":
+            return UnitaryStage(members[0].gate, *args)
+        if kind == "fused":
+            return FusedUnitaryStage([h.gate for h in members], *args)
+        if kind == "matvec":
+            return MatVecStage(
+                [h.gate for h in members],
+                *args,
+                combine_limit=entry.get("combine_limit"),
+            )
+        if kind == "measure":
+            return MeasureStage(members[0].gate, *args, record=sim.outcomes)
+        if kind == "reset":
+            return ResetStage(members[0].gate, *args, record=sim.outcomes)
+        if kind == "c_if":
+            return ClassicallyControlledStage(
+                members[0].gate, *args, record=sim.outcomes
+            )
+    except (ValueError, IndexError) as exc:
+        raise CheckpointError(
+            f"cannot reconstruct {kind!r} stage from checkpoint: {exc}"
+        ) from exc
+    raise CheckpointError(f"unknown stage kind {kind!r}")
+
+
+def restore_simulator(
+    path: str,
+    *,
+    executor: Optional[Executor] = None,
+    num_workers: Optional[int] = None,
+    kernel_backend: Optional[str] = None,
+) -> QTaskSimulator:
+    """Reconstruct a :class:`QTaskSimulator` from a checkpoint file.
+
+    The restored session holds the checkpointed computed state (no
+    re-simulation happens) and is immediately editable: subsequent circuit
+    modifiers re-simulate incrementally from the loaded blocks, exactly as
+    they would have in the original session.  Execution resources are not
+    part of the durable state -- pass ``executor``/``num_workers``/
+    ``kernel_backend`` to override the checkpointed backend spec (the
+    requested backend is restored, not any mid-session degradation).
+
+    Trajectory randomness follows fork semantics: recorded outcomes and
+    classical bits are restored verbatim, but the keyed per-op random
+    streams are not serialized (matching :meth:`OutcomeRecord.clone`), so
+    an edit that re-collapses a measurement draws from the start of its
+    keyed stream -- a restored session and a fork taken at checkpoint time
+    evolve identically under identical edits.
+    """
+    header, payload = _read_file(path)
+    knobs = header["knobs"]
+    circuit, handles = _rebuild_circuit(header)
+
+    sim = QTaskSimulator.__new__(QTaskSimulator)
+    sim.circuit = circuit
+    sim.block_size = int(knobs["block_size"])
+    sim.copy_on_write = bool(knobs["copy_on_write"])
+    sim.block_directory = bool(knobs["block_directory"])
+    sim.fusion = bool(knobs["fusion"])
+    sim.max_fused_qubits = int(knobs["max_fused_qubits"])
+    sim.dim = 1 << circuit.num_qubits
+    sim.n_blocks = num_blocks(sim.dim, sim.block_size)
+    sim._owns_executor = executor is None
+    sim.executor = executor if executor is not None else make_executor(num_workers)
+    sim.kernel_backend = (
+        kernel_backend if kernel_backend is not None else knobs["kernel_backend"]
+    )
+    sim._backend, fell_back = make_backend(sim.kernel_backend)
+    sim._plans_built = 0
+    sim._runs_batched = 0
+    sim._plan_chunks = 0
+    sim._updates_planned = 0
+    sim._backend_fallbacks = 1 if fell_back else 0
+    sim._init_fault_tolerance()
+
+    sim._initial = InitialStateStore(sim.dim, sim.block_size)
+    sim._directory = BlockDirectory(sim._initial)
+    sim.graph = PartitionGraph(
+        BlockRange(0, sim.n_blocks - 1),
+        on_stage_inserted=sim._on_stage_entered,
+        on_stage_removed=sim._on_stage_left,
+    )
+    sim._net_stages = {net.uid: [] for net in circuit.nets()}
+    sim._matvec = {}
+    sim._gate_stage = {}
+    sim._stage_handles = {}
+    sim._stage_net = {}
+    sim._num_fused = 0
+    sim._net_index = None
+    sim._net_uid_order = []
+    sim.last_update = UpdateReport()
+    sim._num_updates = 0
+    sim.observable_cache = bool(knobs["observable_cache"])
+    sim._dirty_listeners = []
+    sim._observables = None
+
+    rec = header["outcomes"]
+    sim.outcomes = OutcomeRecord(int(rec["num_bits"]), seed=int(rec["seed"]))
+    sim.outcomes._bits = {int(b): int(v) for b, v in rec["bits"]}
+    sim.outcomes._op_outcomes = {int(i): int(v) for i, v in rec["ops"]}
+    sim.outcomes._forced = {int(i): int(v) for i, v in rec["forced"]}
+    sim._dynamic_stages = {}
+
+    # Rebuild the stage table in the checkpointed global order.  Each
+    # insert_stage call re-derives the partition-graph connectivity from
+    # the final stage sequence (the honest reconstruction -- there is no
+    # source graph to mirror), and the graph's insertion hook binds dynamic
+    # records and attaches stores to the block directory.
+    nets = circuit.nets()
+    for i, entry in enumerate(header["stages"]):
+        members = [handles[g] for g in entry["gates"]]
+        stage = _build_stage(entry, members, sim)
+        net = nets[int(entry["net"])]
+        sim._net_stages[net.uid].append(stage)
+        sim.graph.insert_stage(stage, i)
+        sim._stage_handles[stage.uid] = members
+        for h in members:
+            sim._gate_stage[h.uid] = stage
+        sim._stage_net[stage.uid] = net.uid
+        if isinstance(stage, MatVecStage):
+            sim._matvec[net.uid] = stage
+        elif isinstance(stage, FusedUnitaryStage):
+            sim._num_fused += 1
+
+    # Load the block payloads (stage order, ascending block id), verifying
+    # each CRC.  Stage seqs are final here, so the block directory learns
+    # the ownership at the correct sequence positions.
+    block_len = min(sim.dim, sim.block_size)
+    block_bytes = block_len * np.dtype(_DTYPE).itemsize
+    offset = 0
+    stages = sim.graph.stages
+    for entry, stage in zip(header["stages"], stages):
+        for b, crc in entry["blocks"]:
+            chunk = payload[offset : offset + block_bytes]
+            if len(chunk) != block_bytes:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is truncated (block {b} of "
+                    f"stage {stage!r})"
+                )
+            if zlib.crc32(chunk) & 0xFFFFFFFF != crc:
+                raise CheckpointError(
+                    f"checksum mismatch on block {b} of stage {stage!r}; "
+                    f"checkpoint {path!r} is corrupt"
+                )
+            arr = np.frombuffer(chunk, dtype=_DTYPE)
+            stage.store.write_block(int(b), arr, copy=False)
+            offset += block_bytes
+    if offset != len(payload):
+        raise CheckpointError(
+            f"checkpoint {path!r} has {len(payload) - offset} trailing "
+            "payload bytes"
+        )
+
+    # The inserted stages all joined the frontier; the checkpointed state
+    # is computed, so there is no pending work.
+    sim.graph.clear_frontiers()
+    sim._num_updates = max(1, int(header["num_updates"]))
+    circuit.register_observer(sim)
+    return sim

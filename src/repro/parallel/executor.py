@@ -28,6 +28,8 @@ import threading
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core import faults
+from ..core.faults import FaultInjected
 from .taskgraph import Task, TaskGraph
 from .workqueue import StealScheduler
 
@@ -38,12 +40,62 @@ __all__ = [
     "make_executor",
 ]
 
+#: bounded in-place retries of a task body that hit an injected fault.
+#: Task bodies write disjoint output ranges (the contract that makes the
+#: graph parallelisable in the first place), so re-running one is safe; the
+#: bound keeps a pathological plan from spinning forever -- past it the
+#: fault propagates to ``run()`` and the simulator's update-level retry.
+_TASK_FAULT_RETRIES = 3
+
+
+def _attach_task_context(exc: BaseException, label: Optional[str]) -> None:
+    """Stamp the failing task's identity onto ``exc`` before re-raising.
+
+    Sets ``exc.task_label`` (first failure wins) and, on Python >= 3.11,
+    adds a traceback note -- so the exception surfacing from ``run()``
+    says *which* stage/task died instead of arriving bare.
+    """
+    if not label or getattr(exc, "task_label", None) is not None:
+        return
+    try:
+        exc.task_label = label
+    except (AttributeError, TypeError):  # pragma: no cover - slotted exc
+        return
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(f"raised by executor task {label!r}")
+
 
 class Executor(ABC):
     """Common interface: run a task graph, or map a function over items."""
 
     #: number of worker threads (1 for the sequential executor)
     num_workers: int = 1
+
+    #: task bodies re-run in place after an injected fault (see
+    #: ``_TASK_FAULT_RETRIES``); informational, merged into statistics()
+    task_retries: int = 0
+
+    def _guarded(self, fn: Callable[[], object]) -> object:
+        """Run a task body under the ``executor.task`` fault site.
+
+        With no fault plan installed this is one global-load branch around
+        ``fn()``; with one armed, injected faults trigger bounded in-place
+        retries (task bodies are idempotent by the disjoint-writes
+        contract) before propagating.
+        """
+        if faults.ACTIVE is None:
+            return fn()
+        attempt = 0
+        while True:
+            try:
+                faults.fire("executor.task")
+                return fn()
+            except FaultInjected:
+                attempt += 1
+                if attempt > _TASK_FAULT_RETRIES:
+                    raise
+                self.task_retries += 1
 
     #: how many subflow children a plan-granular task body should hand back:
     #: the simulator's plan pipeline splits one stage's run table into at
@@ -80,20 +132,24 @@ class SequentialExecutor(Executor):
         graph.validate()
         order = graph.topological_order()
         for task in order:
-            sub = task.run()
-            # Subflow: run spawned callables depth-first, children of one
-            # spawn in spawn order (matching the work-stealing executor's
-            # single-worker schedule).
-            stack = list(reversed(sub or []))
-            while stack:
-                fn = stack.pop()
-                result = fn()
-                if callable(result):
-                    stack.append(result)
-                elif isinstance(result, (list, tuple)) and all(
-                    callable(c) for c in result
-                ):
-                    stack.extend(reversed(result))
+            try:
+                sub = self._guarded(task.run)
+                # Subflow: run spawned callables depth-first, children of one
+                # spawn in spawn order (matching the work-stealing executor's
+                # single-worker schedule).
+                stack = list(reversed(sub or []))
+                while stack:
+                    fn = stack.pop()
+                    result = self._guarded(fn)
+                    if callable(result):
+                        stack.append(result)
+                    elif isinstance(result, (list, tuple)) and all(
+                        callable(c) for c in result
+                    ):
+                        stack.extend(reversed(result))
+            except BaseException as exc:
+                _attach_task_context(exc, task.name)
+                raise
 
     def map(self, fn, items):
         return [fn(x) for x in items]
@@ -137,7 +193,7 @@ class _RunState:
 class _Work:
     """A schedulable unit: either a graph task or a subflow callable."""
 
-    __slots__ = ("fn", "task", "parent", "state")
+    __slots__ = ("fn", "task", "parent", "state", "label")
 
     def __init__(
         self,
@@ -145,11 +201,15 @@ class _Work:
         task: Optional[Task] = None,
         parent: Optional["_Join"] = None,
         state: Optional[_RunState] = None,
+        label: Optional[str] = None,
     ):
         self.fn = fn
         self.task = task
         self.parent = parent
         self.state = state
+        #: human-readable identity (task name, or parent task name for
+        #: subflow children) attached to any exception this unit raises
+        self.label = label if label is not None else (task.name if task else None)
 
 
 class _Join:
@@ -229,13 +289,13 @@ class WorkStealingExecutor(Executor):
         state = work.state
         try:
             if work.task is not None:
-                sub = work.task.run()
+                sub = self._guarded(work.task.run)
                 if sub:
                     self._spawn_subflow(work.task, list(sub), state, worker_id)
                 else:
                     self._release_successors(work.task, state, worker_id)
             else:
-                result = work.fn() if work.fn is not None else None
+                result = self._guarded(work.fn) if work.fn is not None else None
                 extra: List[Callable] = []
                 if callable(result):
                     extra = [result]
@@ -251,11 +311,13 @@ class WorkStealingExecutor(Executor):
                     # Reversed submission + LIFO owner pop = spawn order.
                     for fn in reversed(extra):
                         self._submit(
-                            _Work(fn, parent=work.parent, state=state), worker_id
+                            _Work(fn, parent=work.parent, state=state,
+                                  label=work.label), worker_id
                         )
                 if work.parent is not None:
                     work.parent.child_done()
         except BaseException as exc:  # propagate to the waiting run() caller
+            _attach_task_context(exc, work.label)
             if state is not None:
                 state.fail(exc)
             return
@@ -267,14 +329,18 @@ class WorkStealingExecutor(Executor):
         if state:
             state.task_added(len(children))
         join = _Join(len(children), lambda: self._release_successors(task, state, worker_id))
+        label = f"{task.name}[subflow]"
         if len(children) == 1:
             # Batched block-run bodies usually hand back a single fat child;
             # run it inline on this worker instead of a queue round-trip.
-            self._execute(_Work(children[0], parent=join, state=state), worker_id)
+            self._execute(
+                _Work(children[0], parent=join, state=state, label=label),
+                worker_id,
+            )
             return
         # Reversed submission + LIFO owner pop = spawn order on one worker.
         for fn in reversed(children):
-            self._submit(_Work(fn, parent=join, state=state), worker_id)
+            self._submit(_Work(fn, parent=join, state=state, label=label), worker_id)
 
     def _release_successors(self, task: Task, state: Optional[_RunState],
                             worker_id: int) -> None:

@@ -134,6 +134,56 @@ class QTask:
             )
         return mapped
 
+    # -- durable checkpoints ---------------------------------------------------
+
+    def checkpoint(self, path: str) -> str:
+        """Serialize this session to ``path`` so it can survive a crash.
+
+        The checkpoint captures the circuit, every configuration knob, the
+        global stage order, all materialised copy-on-write blocks (each with
+        a CRC) and the trajectory's classical state (seed, bits, recorded
+        outcomes) in a versioned binary format.  Pending modifiers are
+        flushed first, and the file is written atomically, so an existing
+        checkpoint at ``path`` is never clobbered by a crash mid-write.
+        Returns ``path``.
+        """
+        from .core.snapshot import save_checkpoint
+
+        return save_checkpoint(self.simulator, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        *,
+        executor: Optional[Executor] = None,
+        num_workers: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
+    ) -> "QTask":
+        """Resume a session from a :meth:`checkpoint` file, without re-simulating.
+
+        The restored session holds the checkpointed computed state and is
+        immediately editable -- subsequent modifiers re-simulate
+        incrementally from the loaded blocks.  Execution resources are not
+        durable state: pass ``executor``/``num_workers``/``kernel_backend``
+        to override what the checkpoint requested (a backend the original
+        session had *degraded* to is not restored; the requested spec is).
+        Raises :class:`~repro.core.exceptions.CheckpointError` on corrupt,
+        truncated or incompatible files.
+        """
+        from .core.snapshot import restore_simulator
+
+        session = cls.__new__(cls)
+        session.simulator = restore_simulator(
+            path,
+            executor=executor,
+            num_workers=num_workers,
+            kernel_backend=kernel_backend,
+        )
+        session.circuit = session.simulator.circuit
+        session._fork_gate_map = None
+        return session
+
     def close(self) -> None:
         self.simulator.close()
 

@@ -8,8 +8,32 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 import pytest
 
+from repro.core import faults
 from repro.core.circuit import Circuit
 from repro.core.gates import Gate, embed_gate_matrix
+
+# ---------------------------------------------------------------------------
+# chaos mode: QTASK_FAULT_P=<p> runs the whole suite under an armed fault
+# plan (see repro.core.faults.plan_from_env).  Faults only fire inside the
+# simulator's armed scopes, and every recovery layer must absorb them, so
+# the suite is expected to stay green -- that expectation *is* the test.
+# ---------------------------------------------------------------------------
+
+
+_chaos_plan = None
+
+
+def pytest_configure(config):
+    global _chaos_plan
+    _chaos_plan = faults.plan_from_env()
+    if _chaos_plan is not None:
+        faults.install(_chaos_plan)
+
+
+def pytest_unconfigure(config):
+    if _chaos_plan is not None and faults.active_plan() is _chaos_plan:
+        faults.uninstall()
+
 
 # ---------------------------------------------------------------------------
 # reference simulation helpers (independent of the library's fast kernels)

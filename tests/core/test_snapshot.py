@@ -1,0 +1,371 @@
+"""Durable session checkpoints: save, restore, resume, reject corruption.
+
+The checkpoint contract (``repro.core.snapshot``):
+
+* a restored session holds the exact checkpointed state without
+  re-simulating anything (``num_updates`` > 0, blocks loaded from disk),
+* it is immediately editable, and subsequent updates are *incremental*
+  from the loaded blocks,
+* a restored session is observationally a fork taken at checkpoint time:
+  under identical edits it evolves identically to such a fork (keyed
+  trajectory streams restart, exactly like ``QTask.fork``),
+* damaged files -- bad magic, truncation, flipped payload bytes, wrong
+  version -- raise :class:`CheckpointError` instead of resuming garbage,
+* saving is atomic: a crash mid-save can never clobber a good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro import CheckpointError, QTask
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.simulator import QTaskSimulator
+from repro.core.snapshot import (
+    CHECKPOINT_MAGIC,
+    restore_simulator,
+    save_checkpoint,
+)
+
+from ..conftest import (
+    assert_states_close,
+    circuit_levels,
+    random_levels,
+    reference_state,
+)
+
+ATOL = 1e-12
+
+
+def _fill_session(session: QTask, levels) -> None:
+    """Insert conftest-style levels through the facade circuit."""
+    session.circuit.from_levels(levels)
+
+
+KNOB_COMBOS = [
+    pytest.param(
+        dict(block_size=4),
+        id="defaults-bs4",
+    ),
+    pytest.param(
+        dict(block_size=4, fusion=True),
+        id="fusion-bs4",
+    ),
+    pytest.param(
+        dict(block_size=8, block_directory=False),
+        id="chain-bs8",
+    ),
+    pytest.param(
+        dict(block_size=4, copy_on_write=False),
+        id="dense-bs4",
+    ),
+    pytest.param(
+        dict(block_size=16, fusion=True, block_directory=False),
+        id="fusion-chain-bs16",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("knobs", KNOB_COMBOS)
+def test_round_trip_preserves_state_and_structure(tmp_path, knobs):
+    num_qubits = 6
+    rng = random.Random(20260807)
+    levels = random_levels(rng, num_qubits, 6)
+    path = str(tmp_path / "session.qtckpt")
+    with QTask(num_qubits, num_workers=1, **knobs) as session:
+        _fill_session(session, levels)
+        session.update_state()
+        original_state = session.state().copy()
+        original_stats = session.statistics()
+        assert session.checkpoint(path) == path
+
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        # the checkpointed amplitudes load bit-exactly, without simulating
+        np.testing.assert_array_equal(restored.state(), original_state)
+        stats = restored.statistics()
+        for key in ("num_stages", "num_nodes", "block_size", "num_fused_stages"):
+            assert stats[key] == original_stats[key], key
+        assert stats["num_updates"] >= 1
+        assert stats["plans_built"] == 0  # nothing was re-simulated
+    finally:
+        restored.close()
+
+
+def test_restore_resumes_incrementally(tmp_path):
+    """Edits after restore re-simulate only the dirty cone."""
+    num_qubits = 6
+    rng = random.Random(31)
+    levels = random_levels(rng, num_qubits, 6)
+    path = str(tmp_path / "session.qtckpt")
+    with QTask(num_qubits, block_size=4, num_workers=1) as session:
+        _fill_session(session, levels)
+        session.update_state()
+        session.checkpoint(path)
+
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        net = restored.insert_net()
+        restored.insert_gate("rz", net, 0, params=[0.5])
+        report = restored.update_state()
+        assert report.was_incremental
+        assert report.affected_partitions < report.total_partitions
+        expected = reference_state(num_qubits, circuit_levels(restored.circuit))
+        assert_states_close(restored.state(), expected, atol=1e-10)
+    finally:
+        restored.close()
+
+
+def test_checkpoint_flushes_pending_modifiers(tmp_path):
+    """Checkpointing an un-simulated session first brings it up to date."""
+    num_qubits = 5
+    rng = random.Random(32)
+    levels = random_levels(rng, num_qubits, 4)
+    path = str(tmp_path / "session.qtckpt")
+    with QTask(num_qubits, block_size=4, num_workers=1) as session:
+        _fill_session(session, levels)
+        session.checkpoint(path)  # no update_state() before this
+
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        expected = reference_state(num_qubits, levels)
+        assert_states_close(restored.state(), expected, atol=1e-10)
+    finally:
+        restored.close()
+
+
+def test_dynamic_circuit_round_trip(tmp_path):
+    """Measure/reset/c_if stages, classical registers and recorded
+    outcomes all survive the round trip."""
+    path = str(tmp_path / "dynamic.qtckpt")
+    with QTask(3, block_size=4, num_workers=1, seed=7) as session:
+        c = session.add_classical_register("c", 2)
+        net1 = session.insert_net()
+        session.insert_gate("h", net1, 0)
+        session.insert_gate("h", net1, 1)
+        net2 = session.insert_net()
+        session.measure(net2, 0, c[0])
+        net3 = session.insert_net()
+        session.c_if("x", net3, 2, condition=(c, 1))
+        net4 = session.insert_net()
+        session.measure(net4, 2, c[1])
+        session.update_state()
+        original_state = session.state().copy()
+        original_value = session.classical_value(c)
+        session.checkpoint(path)
+
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        np.testing.assert_array_equal(restored.state(), original_state)
+        assert restored.classical_value(restored.creg("c")) == original_value
+        assert restored.outcomes.seed == 7
+    finally:
+        restored.close()
+
+
+def test_restored_session_equals_fork_under_identical_edits(tmp_path):
+    """A restored session is a fork taken at checkpoint time: identical
+    edits (including new measurements drawing fresh keyed randomness)
+    produce identical trajectories."""
+    path = str(tmp_path / "forkeq.qtckpt")
+    session = QTask(3, block_size=4, num_workers=1, seed=21)
+    c = session.add_classical_register("c", 2)
+    net1 = session.insert_net()
+    for q in range(3):
+        session.insert_gate("h", net1, q)
+    net2 = session.insert_net()
+    session.measure(net2, 0, c[0])
+    session.update_state()
+    session.checkpoint(path)
+    fork = session.fork()
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        for twin in (fork, restored):
+            net = twin.insert_net()
+            twin.measure(net, 1, twin.creg("c")[1])
+            net = twin.insert_net()
+            twin.c_if("x", net, 2, condition=(twin.creg("c"), 3))
+            twin.update_state()
+        np.testing.assert_array_equal(restored.state(), fork.state())
+        assert restored.classical_value(restored.creg("c")) == fork.classical_value(
+            fork.creg("c")
+        )
+    finally:
+        restored.close()
+        fork.close()
+        session.close()
+
+
+def test_restore_kernel_backend_override(tmp_path):
+    """Execution resources are not durable state: the restored session can
+    run on a different backend and still computes the same states."""
+    num_qubits = 5
+    rng = random.Random(33)
+    levels = random_levels(rng, num_qubits, 4)
+    path = str(tmp_path / "session.qtckpt")
+    with QTask(num_qubits, block_size=4, num_workers=1, kernel_backend="numpy") as s:
+        _fill_session(s, levels)
+        s.update_state()
+        s.checkpoint(path)
+
+    restored = QTask.restore(path, num_workers=1, kernel_backend="legacy")
+    try:
+        assert restored.statistics()["backend"] == "legacy"
+        net = restored.insert_net()
+        restored.insert_gate("cx", net, 0, num_qubits - 1)
+        restored.update_state()
+        expected = reference_state(num_qubits, circuit_levels(restored.circuit))
+        assert_states_close(restored.state(), expected, atol=1e-10)
+    finally:
+        restored.close()
+
+
+def test_direct_simulator_round_trip(tmp_path):
+    """The core API works without the facade."""
+    num_qubits = 5
+    rng = random.Random(34)
+    levels = random_levels(rng, num_qubits, 4)
+    circuit = Circuit(num_qubits)
+    circuit.from_levels(levels)
+    sim = QTaskSimulator(circuit, block_size=4, num_workers=1)
+    path = str(tmp_path / "sim.qtckpt")
+    try:
+        sim.update_state()
+        save_checkpoint(sim, path)
+        expected = sim.state().copy()
+    finally:
+        sim.close()
+    restored = restore_simulator(path, num_workers=1)
+    try:
+        np.testing.assert_array_equal(restored.state(), expected)
+    finally:
+        restored.close()
+
+
+# ---------------------------------------------------------------------------
+# durability: atomic writes, loud rejection of damaged files
+# ---------------------------------------------------------------------------
+
+
+def _checkpointed_session(tmp_path):
+    rng = random.Random(35)
+    levels = random_levels(rng, 5, 4)
+    path = str(tmp_path / "victim.qtckpt")
+    with QTask(5, block_size=4, num_workers=1) as session:
+        _fill_session(session, levels)
+        session.update_state()
+        session.checkpoint(path)
+        state = session.state().copy()
+    return path, state
+
+
+def test_save_leaves_no_temp_files(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+    assert not leftovers
+    assert os.path.exists(path)
+
+
+def test_checkpoint_overwrite_is_atomic(tmp_path):
+    """Re-checkpointing onto an existing file replaces it wholesale."""
+    path, _ = _checkpointed_session(tmp_path)
+    first_size = os.path.getsize(path)
+    restored = QTask.restore(path, num_workers=1)
+    try:
+        net = restored.insert_net()
+        restored.insert_gate("h", net, 0)
+        restored.update_state()
+        restored.checkpoint(path)
+        state = restored.state().copy()
+    finally:
+        restored.close()
+    assert os.path.getsize(path) >= first_size
+    second = QTask.restore(path, num_workers=1)
+    try:
+        np.testing.assert_array_equal(second.state(), state)
+    finally:
+        second.close()
+
+
+def test_missing_file_raises_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        QTask.restore(str(tmp_path / "nope.qtckpt"))
+
+
+def test_bad_magic_raises_checkpoint_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    data = bytearray(open(path, "rb").read())
+    data[:4] = b"XXXX"
+    open(path, "wb").write(bytes(data))
+    with pytest.raises(CheckpointError, match="magic|not a qTask checkpoint"):
+        QTask.restore(path)
+
+
+def test_flipped_payload_byte_raises_checksum_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    data = bytearray(open(path, "rb").read())
+    data[-3] ^= 0xFF  # corrupt an amplitude byte
+    open(path, "wb").write(bytes(data))
+    with pytest.raises(CheckpointError, match="checksum"):
+        QTask.restore(path)
+
+
+def test_truncated_payload_raises_checkpoint_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[: len(data) - 16])
+    with pytest.raises(CheckpointError):
+        QTask.restore(path)
+
+
+def test_truncated_header_raises_checkpoint_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    open(path, "wb").write(open(path, "rb").read()[:10])
+    with pytest.raises(CheckpointError):
+        QTask.restore(path)
+
+
+def test_unknown_version_raises_checkpoint_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    raw = open(path, "rb").read()
+    offset = len(CHECKPOINT_MAGIC)
+    (header_len,) = struct.unpack_from("<Q", raw, offset)
+    header = json.loads(raw[offset + 8 : offset + 8 + header_len].decode("utf-8"))
+    header["version"] = 999
+    new_header = json.dumps(header).encode("utf-8")
+    patched = (
+        raw[:offset]
+        + struct.pack("<Q", len(new_header))
+        + new_header
+        + raw[offset + 8 + header_len :]
+    )
+    open(path, "wb").write(patched)
+    with pytest.raises(CheckpointError, match="version"):
+        QTask.restore(path)
+
+
+def test_garbage_json_header_raises_checkpoint_error(tmp_path):
+    path, _ = _checkpointed_session(tmp_path)
+    raw = open(path, "rb").read()
+    offset = len(CHECKPOINT_MAGIC)
+    (header_len,) = struct.unpack_from("<Q", raw, offset)
+    patched = (
+        raw[: offset + 8]
+        + b"\xff" * header_len
+        + raw[offset + 8 + header_len :]
+    )
+    open(path, "wb").write(patched)
+    with pytest.raises(CheckpointError):
+        QTask.restore(path)
