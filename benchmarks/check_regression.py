@@ -67,16 +67,21 @@ def compare_entry(
     metrics are then gated against the absolute floor only.
     """
     name = entry["name"]
+    script = entry.get("script", "<unknown script>")
+    baseline_file = entry.get("baseline", "<no baseline file>")
     failures: List[str] = []
     if not fresh.get("passed", False):
         failures.append(
-            f"{name}: correctness gate failed (fresh json has passed="
-            f"{fresh.get('passed')!r})"
+            f"{name} ({script}): correctness gate failed -- fresh json has "
+            f"passed={fresh.get('passed')!r}, expected True"
         )
     for metric in entry.get("accuracy_metrics", ()):
         value = fresh.get(metric)
         if value is None:
-            failures.append(f"{name}: fresh json is missing metric {metric!r}")
+            failures.append(
+                f"{name} ({script}): fresh json is missing accuracy metric "
+                f"{metric!r} (manifest lists it; baseline {baseline_file})"
+            )
             continue
         base_value = (baseline or {}).get(metric)
         limit = floor if base_value is None else max(
@@ -84,10 +89,10 @@ def compare_entry(
         )
         if float(value) > limit:
             failures.append(
-                f"{name}: accuracy metric {metric} regressed: "
-                f"{value:.3e} > limit {limit:.3e} "
-                f"(baseline {base_value if base_value is not None else 'n/a'}, "
-                f"tolerance {tolerance:.0%})"
+                f"{name} ({script}): accuracy metric {metric} regressed: "
+                f"got {value:.3e}, limit {limit:.3e} "
+                f"(baseline {base_value if base_value is not None else 'n/a'} "
+                f"from {baseline_file}, tolerance {tolerance:.0%})"
             )
     return failures
 
@@ -167,7 +172,10 @@ def check(
                 os.remove(fresh_path)
             run_benchmark(entry, repo_root, fresh_path)
         if not os.path.exists(fresh_path):
-            failures.append(f"{name}: benchmark produced no JSON at {fresh_path}")
+            failures.append(
+                f"{name} ({entry.get('script', '<unknown script>')}): "
+                f"benchmark produced no JSON at {fresh_path}"
+            )
             continue
         with open(fresh_path, "r", encoding="utf-8") as fh:
             fresh = json.load(fh)

@@ -12,9 +12,14 @@ Pauli corrections (``c_if``).  The example demonstrates
   regardless of the (uniformly random) Bell-measurement record.
 
 Run:  PYTHONPATH=src python examples/teleportation.py
+
+Set ``QTASK_TRACE_OUT=trace.json`` to run with structured tracing enabled
+and export a chrome://tracing / Perfetto trace of every update and shot
+(this is what the CI trace-artifact step does).
 """
 
 import math
+import os
 
 import numpy as np
 
@@ -51,7 +56,10 @@ def main() -> None:
     print(f"teleporting ry({theta:.4f})|0>  ->  P(measure 1) = {p1:.4f}\n")
 
     # -- one seeded trajectory, checked against the dense oracle ------------
-    ckt = build_teleportation(theta, seed=42, block_size=2)
+    trace_out = os.environ.get("QTASK_TRACE_OUT")
+    ckt = build_teleportation(
+        theta, seed=42, block_size=2, tracing=True if trace_out else None
+    )
     ckt.update_state()
     record = ckt.outcomes
     print(f"Bell measurement record: c1c0 = {record.get_bit(1)}{record.get_bit(0)}")
@@ -68,6 +76,10 @@ def main() -> None:
     # -- trajectory sampling ------------------------------------------------
     shots = 2000
     counts = ckt.run_shots(shots, seed=7)
+    if trace_out:
+        trace = ckt.export_trace(trace_out)
+        print(f"\nwrote {len(trace['traceEvents'])} trace events "
+              f"to {trace_out} (open in ui.perfetto.dev)")
     ckt.close()
 
     # The verification bit c2 must follow the message statistics; the Bell

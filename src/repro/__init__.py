@@ -32,6 +32,7 @@ from .core.simulator import QTaskSimulator, UpdateReport
 from .observables import PauliString, PauliSum
 from .parallel import SweepResult, SweepRunner
 from .qtask import QTask
+from .telemetry import EventLog, MetricsRegistry, Telemetry, Tracer
 
 __version__ = "1.0.0"
 
@@ -51,6 +52,10 @@ __all__ = [
     "CheckpointError",
     "FaultInjected",
     "FaultPlan",
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
+    "EventLog",
     "DEFAULT_BLOCK_SIZE",
     "__version__",
 ]

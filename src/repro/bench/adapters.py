@@ -17,6 +17,7 @@ from ..baselines import QiskitLikeSimulator, QulacsLikeSimulator
 from ..core.blocks import DEFAULT_BLOCK_SIZE
 from ..core.circuit import Circuit, GateHandle
 from ..core.simulator import QTaskSimulator
+from ..telemetry import MetricsRegistry
 
 __all__ = [
     "SimulatorAdapter",
@@ -29,12 +30,54 @@ __all__ = [
 
 
 class SimulatorAdapter:
-    """Minimal uniform surface over qTask and the baselines."""
+    """Minimal uniform surface over qTask and the baselines.
 
-    def __init__(self, name: str, impl, *, incremental: bool) -> None:
+    Iteration timing is *not* hand-rolled ``perf_counter`` bookkeeping:
+    each adapter owns a ``bench.iteration_seconds`` histogram -- registered
+    in the wrapped simulator's own telemetry registry when it has one
+    (qTask), in a standalone registry otherwise (the baselines) -- so the
+    numbers a benchmark row reports and the numbers runtime telemetry
+    exposes come from one instrument and cannot drift apart.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        impl,
+        *,
+        incremental: bool,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.name = name
         self.impl = impl
         self.incremental = incremental
+        if registry is None:
+            telemetry = getattr(impl, "telemetry", None)
+            registry = (
+                telemetry.metrics if telemetry is not None else MetricsRegistry()
+            )
+        self.metrics = registry
+        self._iterations = registry.histogram(
+            "bench.iteration_seconds",
+            unit="s",
+            help="benchmark workload iteration wall time",
+            keep_samples=True,
+        )
+
+    # -- iteration timing (the workloads' single stopwatch) ------------------
+
+    def iteration(self):
+        """``with adapter.iteration(): ...`` times one workload iteration."""
+        return self._iterations.time()
+
+    @property
+    def iteration_seconds(self) -> List[float]:
+        """Per-iteration wall times observed so far, in order."""
+        return list(self._iterations.samples or ())
+
+    @property
+    def total_iteration_seconds(self) -> float:
+        return self._iterations.total
 
     def update_state(self):
         return self.impl.update_state()

@@ -8,12 +8,14 @@ and return a :class:`~repro.bench.metrics.WorkloadResult`.
 Timing includes both the circuit modifiers and the simulation call of each
 iteration, which is how the paper defines an incremental iteration
 ("a sequence of circuit modifiers followed by a simulation call", §IV.C).
+Each iteration is timed by the adapter's telemetry histogram
+(``adapter.iteration()``) rather than ad-hoc ``perf_counter`` pairs, so the
+bench rows and runtime telemetry share one instrument.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from typing import Dict, List, Optional, Sequence
 
 from ..core.circuit import Circuit, GateHandle, NetHandle
@@ -43,6 +45,28 @@ def _track_peak(adapter: SimulatorAdapter, peak: int) -> int:
         return peak
 
 
+def _result(
+    adapter: SimulatorAdapter, workload: str, circuit_name: str, peak: int
+) -> WorkloadResult:
+    """Build the result row from the adapter's iteration histogram.
+
+    The per-iteration series and the total both come from the one
+    ``bench.iteration_seconds`` instrument the ``adapter.iteration()``
+    blocks fed, so the bench JSON and runtime telemetry agree by
+    construction.
+    """
+    per_iter = adapter.iteration_seconds
+    return WorkloadResult(
+        simulator=adapter.name,
+        workload=workload,
+        circuit=circuit_name,
+        total_seconds=adapter.total_iteration_seconds,
+        per_iteration_seconds=per_iter,
+        peak_allocated_bytes=peak,
+        num_updates=len(per_iter),
+    )
+
+
 def full_simulation(
     num_qubits: int, levels: Levels, factory: SimulatorFactory, *, circuit_name: str = ""
 ) -> WorkloadResult:
@@ -50,23 +74,14 @@ def full_simulation(
     circuit = _new_circuit(num_qubits)
     adapter = factory.create(circuit)
     try:
-        start = time.perf_counter()
-        for level in levels:
-            net = circuit.insert_net()
-            for gate in level:
-                circuit.insert_gate(gate, net)
-        adapter.update_state()
-        elapsed = time.perf_counter() - start
+        with adapter.iteration():
+            for level in levels:
+                net = circuit.insert_net()
+                for gate in level:
+                    circuit.insert_gate(gate, net)
+            adapter.update_state()
         peak = _track_peak(adapter, 0)
-        return WorkloadResult(
-            simulator=factory.name,
-            workload="full",
-            circuit=circuit_name,
-            total_seconds=elapsed,
-            per_iteration_seconds=[elapsed],
-            peak_allocated_bytes=peak,
-            num_updates=1,
-        )
+        return _result(adapter, "full", circuit_name, peak)
     finally:
         adapter.close()
 
@@ -77,26 +92,16 @@ def levelwise_incremental(
     """The paper's "inc" column: one simulation call per net, level by level."""
     circuit = _new_circuit(num_qubits)
     adapter = factory.create(circuit)
-    per_iter: List[float] = []
     peak = 0
     try:
         for level in levels:
-            t0 = time.perf_counter()
-            net = circuit.insert_net()
-            for gate in level:
-                circuit.insert_gate(gate, net)
-            adapter.update_state()
-            per_iter.append(time.perf_counter() - t0)
+            with adapter.iteration():
+                net = circuit.insert_net()
+                for gate in level:
+                    circuit.insert_gate(gate, net)
+                adapter.update_state()
             peak = _track_peak(adapter, peak)
-        return WorkloadResult(
-            simulator=factory.name,
-            workload="levelwise",
-            circuit=circuit_name,
-            total_seconds=sum(per_iter),
-            per_iteration_seconds=per_iter,
-            peak_allocated_bytes=peak,
-            num_updates=len(per_iter),
-        )
+        return _result(adapter, "levelwise", circuit_name, peak)
     finally:
         adapter.close()
 
@@ -118,7 +123,6 @@ def insertion_sweep(
     rng = random.Random(seed)
     circuit = _new_circuit(num_qubits)
     adapter = factory.create(circuit)
-    per_iter: List[float] = []
     peak = 0
     try:
         nets: List[NetHandle] = [circuit.insert_net() for _ in levels]
@@ -126,22 +130,13 @@ def insertion_sweep(
         rng.shuffle(pending)
         while pending:
             chosen = [pending.pop() for _ in range(min(levels_per_iteration, len(pending)))]
-            t0 = time.perf_counter()
-            for idx in chosen:
-                for gate in levels[idx]:
-                    circuit.insert_gate(gate, nets[idx])
-            adapter.update_state()
-            per_iter.append(time.perf_counter() - t0)
+            with adapter.iteration():
+                for idx in chosen:
+                    for gate in levels[idx]:
+                        circuit.insert_gate(gate, nets[idx])
+                adapter.update_state()
             peak = _track_peak(adapter, peak)
-        return WorkloadResult(
-            simulator=factory.name,
-            workload="insertions",
-            circuit=circuit_name,
-            total_seconds=sum(per_iter),
-            per_iteration_seconds=per_iter,
-            peak_allocated_bytes=peak,
-            num_updates=len(per_iter),
-        )
+        return _result(adapter, "insertions", circuit_name, peak)
     finally:
         adapter.close()
 
@@ -164,39 +159,28 @@ def removal_sweep(
     rng = random.Random(seed)
     circuit = _new_circuit(num_qubits)
     adapter = factory.create(circuit)
-    per_iter: List[float] = []
     peak = 0
     try:
         handles: Dict[int, List[GateHandle]] = {}
-        t0 = time.perf_counter()
-        for idx, level in enumerate(levels):
-            net = circuit.insert_net()
-            handles[idx] = [circuit.insert_gate(g, net) for g in level]
-        adapter.update_state()
-        per_iter.append(time.perf_counter() - t0)
+        with adapter.iteration():
+            for idx, level in enumerate(levels):
+                net = circuit.insert_net()
+                handles[idx] = [circuit.insert_gate(g, net) for g in level]
+            adapter.update_state()
         peak = _track_peak(adapter, peak)
 
         remaining = [i for i in range(len(levels)) if handles[i]]
         rng.shuffle(remaining)
         while remaining:
             chosen = [remaining.pop() for _ in range(min(levels_per_iteration, len(remaining)))]
-            t0 = time.perf_counter()
-            for idx in chosen:
-                for h in handles[idx]:
-                    circuit.remove_gate(h)
-                handles[idx] = []
-            adapter.update_state()
-            per_iter.append(time.perf_counter() - t0)
+            with adapter.iteration():
+                for idx in chosen:
+                    for h in handles[idx]:
+                        circuit.remove_gate(h)
+                    handles[idx] = []
+                adapter.update_state()
             peak = _track_peak(adapter, peak)
-        return WorkloadResult(
-            simulator=factory.name,
-            workload="removals",
-            circuit=circuit_name,
-            total_seconds=sum(per_iter),
-            per_iteration_seconds=per_iter,
-            peak_allocated_bytes=peak,
-            num_updates=len(per_iter),
-        )
+        return _result(adapter, "removals", circuit_name, peak)
     finally:
         adapter.close()
 
@@ -220,11 +204,13 @@ def mixed_sweep(
     rng = random.Random(seed)
     circuit = _new_circuit(num_qubits)
     adapter = factory.create(circuit)
-    per_iter: List[float] = []
     peak = 0
     try:
         nets: List[NetHandle] = []
         handles: Dict[int, List[GateHandle]] = {}
+        # The construction update is deliberately untimed (the sweep
+        # measures steady-state edit iterations), so it stays outside
+        # the adapter's iteration instrument.
         for idx, level in enumerate(levels):
             net = circuit.insert_net()
             nets.append(net)
@@ -233,28 +219,19 @@ def mixed_sweep(
         peak = _track_peak(adapter, peak)
 
         for _ in range(iterations):
-            t0 = time.perf_counter()
-            populated = [i for i in range(len(levels)) if handles[i]]
-            empty = [i for i in range(len(levels)) if not handles[i]]
-            rng.shuffle(populated)
-            rng.shuffle(empty)
-            for idx in populated[:levels_per_iteration]:
-                for h in handles[idx]:
-                    circuit.remove_gate(h)
-                handles[idx] = []
-            for idx in empty[:levels_per_iteration]:
-                handles[idx] = [circuit.insert_gate(g, nets[idx]) for g in levels[idx]]
-            adapter.update_state()
-            per_iter.append(time.perf_counter() - t0)
+            with adapter.iteration():
+                populated = [i for i in range(len(levels)) if handles[i]]
+                empty = [i for i in range(len(levels)) if not handles[i]]
+                rng.shuffle(populated)
+                rng.shuffle(empty)
+                for idx in populated[:levels_per_iteration]:
+                    for h in handles[idx]:
+                        circuit.remove_gate(h)
+                    handles[idx] = []
+                for idx in empty[:levels_per_iteration]:
+                    handles[idx] = [circuit.insert_gate(g, nets[idx]) for g in levels[idx]]
+                adapter.update_state()
             peak = _track_peak(adapter, peak)
-        return WorkloadResult(
-            simulator=factory.name,
-            workload="mixed",
-            circuit=circuit_name,
-            total_seconds=sum(per_iter),
-            per_iteration_seconds=per_iter,
-            peak_allocated_bytes=peak,
-            num_updates=len(per_iter),
-        )
+        return _result(adapter, "mixed", circuit_name, peak)
     finally:
         adapter.close()

@@ -48,6 +48,8 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..telemetry.session import emit_event
+
 __all__ = [
     "FAULT_SITES",
     "FaultInjected",
@@ -181,6 +183,7 @@ class FaultPlan:
         """Evaluate ``site`` and raise :class:`FaultInjected` if it fires."""
         fire_now, occurrence = self.should_fire(site)
         if fire_now:
+            emit_event("fault.injected", site=site, occurrence=occurrence)
             raise FaultInjected(site, occurrence)
 
     # -- introspection -----------------------------------------------------

@@ -25,6 +25,8 @@ from typing import Dict, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import session as tsession
+from ..telemetry.tracing import NULL_SPAN as _NO_SPAN
 from . import faults
 from .faults import FaultInjected
 from .exec_plan import (
@@ -916,12 +918,16 @@ def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
     """
     from multiprocessing import shared_memory
 
-    in_name, out_name, total, rows, ops, directive = args
+    in_name, out_name, total, rows, ops, directive, trace = args
     kind, occurrence = directive if directive else (None, 0)
     if kind == "kill":
         import signal
 
         os.kill(os.getpid(), signal.SIGKILL)
+    # Worker-side span timing: perf_counter is CLOCK_MONOTONIC on Linux, and
+    # fork children share the parent's timebase, so the record the parent
+    # adopts lines up with parent-side spans on one timeline.
+    t0 = time.perf_counter() if trace else 0.0
     shm_in = shared_memory.SharedMemory(name=in_name)
     try:
         shm_out = shared_memory.SharedMemory(name=out_name)
@@ -947,9 +953,11 @@ def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
             raise FaultInjected("pool.worker", occurrence)
         src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
         out_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf)
+        amps = 0
         for offset, base_lo, lo, hi, op_id in rows:
             qubits, action = ops[op_id]
             n = hi - lo + 1
+            amps += n
             reader = _OffsetReader(base_lo, src_all[offset : offset + n])
             out_all[offset : offset + n] = apply_action_range(
                 reader, lo, hi, qubits, action
@@ -957,6 +965,8 @@ def _pool_apply_chunk(args):  # pragma: no cover - runs in fork workers
     finally:
         shm_in.close()
         shm_out.close()
+    if trace:
+        return (os.getpid(), t0, time.perf_counter() - t0, len(rows), amps)
     return None
 
 
@@ -1048,11 +1058,13 @@ class ProcessPoolBackend(KernelBackend):
             )
             self._pool = _respawn_fork_pool(self.num_workers)
             self.respawns += 1
+            tsession.emit_event("pool.respawn", reason="dead_worker")
 
     def _abandon_pool(self) -> None:
         """Replace the pool outright (used after a hung/timed-out map)."""
         self._pool = _respawn_fork_pool(self.num_workers)
         self.respawns += 1
+        tsession.emit_event("pool.respawn", reason="abandoned")
 
     @staticmethod
     def _release_segments(*segments) -> None:
@@ -1079,64 +1091,115 @@ class ProcessPoolBackend(KernelBackend):
         import multiprocessing as mp
         from multiprocessing import shared_memory
 
+        tel = tsession.current()
+        tracer = tel.tracer if tel is not None else None
+        tracing = tracer is not None and tracer.enabled
         nbytes = total * np.dtype(_DTYPE).itemsize
         shm_in = None
         shm_out = None
         try:
-            shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
-            shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
-            src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
-            for offset, base_lo, lo, hi, _ in shippable:
-                n = hi - lo + 1
-                src_all[offset : offset + n] = reader.read_range(
-                    base_lo, base_lo + n - 1
+            with (
+                tracer.span(
+                    "pool.ship",
+                    {"runs": len(shippable), "amps": total,
+                     "workers": self.num_workers},
                 )
-            if faults.ACTIVE is not None:
-                faults.fire("pool.ship")
-            stride = -(-len(shippable) // self.num_workers)
-            chunks = [
-                shippable[i : i + stride]
-                for i in range(0, len(shippable), stride)
-            ]
-            jobs = []
-            for chunk in chunks:
-                # Worker-fault decisions are drawn in the parent and shipped
-                # with the chunk so pool scheduling cannot perturb the seeded
-                # stream; ``pool.worker.kill`` turns into a real SIGKILL.
-                directive = None
-                if faults.ACTIVE is not None and faults.is_armed():
-                    hit, occ = faults.ACTIVE.should_fire("pool.worker.kill")
-                    if hit:
-                        directive = ("kill", occ)
-                    else:
-                        hit, occ = faults.ACTIVE.should_fire("pool.worker")
+                if tracing
+                else _NO_SPAN
+            ):
+                shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
+                shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+                src_all = np.ndarray((total,), dtype=_DTYPE, buffer=shm_in.buf)
+                for offset, base_lo, lo, hi, _ in shippable:
+                    n = hi - lo + 1
+                    src_all[offset : offset + n] = reader.read_range(
+                        base_lo, base_lo + n - 1
+                    )
+                if faults.ACTIVE is not None:
+                    faults.fire("pool.ship")
+                stride = -(-len(shippable) // self.num_workers)
+                chunks = [
+                    shippable[i : i + stride]
+                    for i in range(0, len(shippable), stride)
+                ]
+                jobs = []
+                for chunk in chunks:
+                    # Worker-fault decisions are drawn in the parent and
+                    # shipped with the chunk so pool scheduling cannot
+                    # perturb the seeded stream; ``pool.worker.kill`` turns
+                    # into a real SIGKILL.
+                    directive = None
+                    if faults.ACTIVE is not None and faults.is_armed():
+                        hit, occ = faults.ACTIVE.should_fire("pool.worker.kill")
                         if hit:
-                            directive = ("raise", occ)
-                jobs.append(
-                    (shm_in.name, shm_out.name, total, chunk, ops, directive)
+                            directive = ("kill", occ)
+                        else:
+                            hit, occ = faults.ACTIVE.should_fire("pool.worker")
+                            if hit:
+                                directive = ("raise", occ)
+                    if directive is not None:
+                        tsession.emit_event(
+                            "fault.injected",
+                            site=(
+                                "pool.worker.kill"
+                                if directive[0] == "kill"
+                                else "pool.worker"
+                            ),
+                            occurrence=directive[1],
+                        )
+                    jobs.append(
+                        (shm_in.name, shm_out.name, total, chunk, ops,
+                         directive, tracing)
+                    )
+                try:
+                    results = self._pool.map_async(_pool_apply_chunk, jobs).get(
+                        timeout=self.ship_timeout
+                    )
+                except mp.TimeoutError:
+                    # A SIGKILLed worker's tasks are silently lost by
+                    # multiprocessing.Pool; the bounded wait is what turns
+                    # that hang into a retryable failure.  Abandon the
+                    # wedged pool.
+                    self.timeouts += 1
+                    tsession.emit_event(
+                        "pool.timeout", seconds=self.ship_timeout
+                    )
+                    self._abandon_pool()
+                    raise
+                if tracing:
+                    # Re-home the workers' chunk spans (timed in the fork
+                    # children on the shared monotonic clock) under this
+                    # ship span.
+                    parent = tracer.current_span_id()
+                    for rec in results:
+                        if rec is None:
+                            continue
+                        pid, start, duration, n_rows, amps = rec
+                        tracer.adopt(
+                            "pool.chunk", start, duration,
+                            parent_id=parent, pid=pid,
+                            thread_id=pid, thread_name=f"pool-worker-{pid}",
+                            attrs={"runs": n_rows, "amps": amps},
+                        )
+            with (
+                tracer.span("pool.receive", {"amps": total})
+                if tracing
+                else _NO_SPAN
+            ):
+                if faults.ACTIVE is not None:
+                    faults.fire("pool.receive")
+                # One heap copy of the shared output, then view-publish per
+                # run (the store must never keep views into soon-unlinked
+                # shm).
+                out_all = np.array(
+                    np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf),
+                    copy=True,
                 )
-            try:
-                self._pool.map_async(_pool_apply_chunk, jobs).get(
-                    timeout=self.ship_timeout
-                )
-            except mp.TimeoutError:
-                # A SIGKILLed worker's tasks are silently lost by
-                # multiprocessing.Pool; the bounded wait is what turns that
-                # hang into a retryable failure.  Abandon the wedged pool.
-                self.timeouts += 1
-                self._abandon_pool()
-                raise
-            if faults.ACTIVE is not None:
-                faults.fire("pool.receive")
-            # One heap copy of the shared output, then view-publish per run
-            # (the store must never keep views into soon-unlinked shm).
-            out_all = np.array(
-                np.ndarray((total,), dtype=_DTYPE, buffer=shm_out.buf),
-                copy=True,
-            )
-            for offset, _, lo, hi, _ in shippable:
-                n = hi - lo + 1
-                store.write_range(lo, out_all[offset : offset + n], copy=False)
+                for offset, _, lo, hi, _ in shippable:
+                    n = hi - lo + 1
+                    store.write_range(
+                        lo, out_all[offset : offset + n], copy=False
+                    )
         finally:
             self._release_segments(shm_in, shm_out)
 
@@ -1193,6 +1256,11 @@ class ProcessPoolBackend(KernelBackend):
                     )
                     raise
                 self.retries += 1
+                tsession.emit_event(
+                    "pool.retry",
+                    attempt=attempt + 1,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
                 delay = self.retry_backoff * (2**attempt)
                 logger.warning(
                     "process backend attempt %d/%d failed (%s); "

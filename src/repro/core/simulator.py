@@ -29,6 +29,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Text
 import numpy as np
 
 from ..parallel import Executor, SequentialExecutor, TaskGraph, make_executor
+from ..telemetry import Telemetry
+from ..telemetry import session as tsession
 from . import faults
 from .faults import FaultInjected
 from .blocks import BlockRange, DEFAULT_BLOCK_SIZE, num_blocks, validate_block_size
@@ -115,6 +117,7 @@ class QTaskSimulator(CircuitObserver):
         observable_cache: bool = True,
         kernel_backend: Optional[str] = None,
         seed: Optional[int] = None,
+        tracing: Optional[bool] = None,
     ) -> None:
         self.circuit = circuit
         self.block_size = validate_block_size(block_size)
@@ -149,12 +152,7 @@ class QTaskSimulator(CircuitObserver):
             else os.environ.get("QTASK_KERNEL_BACKEND", "auto")
         )
         self._backend, fell_back = make_backend(self.kernel_backend)
-        #: plan-pipeline counters (see :meth:`plan_report`)
-        self._plans_built = 0
-        self._runs_batched = 0
-        self._plan_chunks = 0
-        self._updates_planned = 0
-        self._backend_fallbacks = 1 if fell_back else 0
+        self._init_telemetry(tracing=tracing, fell_back=fell_back)
         self._init_fault_tolerance()
 
         self._initial = InitialStateStore(self.dim, self.block_size)
@@ -214,6 +212,49 @@ class QTaskSimulator(CircuitObserver):
         circuit.register_observer(self)
         self._sync_existing()
 
+    def _init_telemetry(
+        self,
+        *,
+        tracing: Optional[bool] = None,
+        parent: Optional[Telemetry] = None,
+        fell_back: bool = False,
+    ) -> None:
+        """One telemetry bundle per session; plan counters live in it.
+
+        The plan-pipeline counters keep their ``self._x`` attribute names,
+        but each is now a registry-owned :class:`~repro.telemetry.Counter`
+        -- write sites call ``.inc()``, report sites read ``.value``, and
+        the same numbers surface through ``telemetry_report()`` and the
+        Prometheus dump without a second bookkeeping path.
+        """
+        self.telemetry = Telemetry(tracing=tracing, parent=parent)
+        m = self.telemetry.metrics
+        #: plan-pipeline counters (see :meth:`plan_report`)
+        self._plans_built = m.counter(
+            "plan.plans_built", help="stage plans compiled"
+        )
+        self._runs_batched = m.counter(
+            "plan.runs_batched", help="block runs batched into plans"
+        )
+        self._plan_chunks = m.counter(
+            "plan.chunks", help="executor-visible plan chunks"
+        )
+        self._updates_planned = m.counter(
+            "plan.updates_planned", help="updates through the plan pipeline"
+        )
+        self._backend_fallbacks = m.counter(
+            "recovery.backend_fallbacks",
+            help="chunk executions that fell back run-granular",
+        )
+        if fell_back:
+            self._backend_fallbacks.inc()
+        self._update_seconds = m.histogram(
+            "update.seconds", unit="s", help="update_state wall time"
+        )
+        #: event-log high-water mark when the last update began, so
+        #: ``explain_last_update`` can scope "what recovery did" exactly.
+        self._update_event_mark = 0
+
     def _init_fault_tolerance(self) -> None:
         """Per-session recovery state: retry counters + the circuit breaker."""
         #: consecutive chunk failures that trip the breaker; tune per session
@@ -222,8 +263,13 @@ class QTaskSimulator(CircuitObserver):
         self._consecutive_chunk_failures = 0
         #: ladder transitions, oldest first ({from, to, reason, update})
         self._backend_transitions: List[Dict[str, object]] = []
-        self._run_retries = 0
-        self._update_retries = 0
+        m = self.telemetry.metrics
+        self._run_retries = m.counter(
+            "recovery.run_retries", help="per-run fault retries"
+        )
+        self._update_retries = m.counter(
+            "recovery.update_retries", help="whole-update fault retries"
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -313,15 +359,18 @@ class QTaskSimulator(CircuitObserver):
         if kernel_backend is None:
             child.kernel_backend = self.kernel_backend
             child._backend = self._backend
-            child._backend_fallbacks = 0
+            fell_back = False
         else:
             child.kernel_backend = kernel_backend
             child._backend, fell_back = make_backend(kernel_backend)
-            child._backend_fallbacks = 1 if fell_back else 0
-        child._plans_built = 0
-        child._runs_batched = 0
-        child._plan_chunks = 0
-        child._updates_planned = 0
+        # The child gets its own registry (counters start at zero) tagged
+        # with this session's id, so fleet aggregation can merge fork stats
+        # back instead of losing them -- see SweepRunner.merged_metrics().
+        child._init_telemetry(
+            tracing=self.telemetry.tracer.enabled,
+            parent=self.telemetry,
+            fell_back=fell_back,
+        )
         child._init_fault_tolerance()
         child._initial = InitialStateStore(child.dim, child.block_size)
         child._directory = BlockDirectory(child._initial)
@@ -838,6 +887,24 @@ class QTaskSimulator(CircuitObserver):
         re-simulates all partitions.  COW is precisely what makes scoped
         updates possible.
         """
+        tel = self.telemetry
+        self._update_event_mark = tel.events.last_seq
+        prev = tsession.activate(tel)
+        try:
+            if tel.tracer.enabled:
+                with tel.tracer.span("update") as span:
+                    report = self._update_state_impl()
+                    span.set("affected", report.affected_partitions)
+                    span.set("block_writes", report.executed_block_writes)
+                    span.set("update", self._num_updates - 1)
+            else:
+                report = self._update_state_impl()
+            self._update_seconds.observe(report.elapsed_seconds)
+            return report
+        finally:
+            tsession.deactivate(prev)
+
+    def _update_state_impl(self) -> UpdateReport:
         start = time.perf_counter()
         if self.copy_on_write:
             affected = self.graph.affected_nodes()
@@ -899,7 +966,13 @@ class QTaskSimulator(CircuitObserver):
                     if attempt > _UPDATE_FAULT_RETRIES:
                         raise
                     self.outcomes.restore(rollback)
-                    self._update_retries += 1
+                    self._update_retries.inc()
+                    tsession.emit_event(
+                        "trajectory.rollback", update=self._num_updates
+                    )
+                    tsession.emit_event(
+                        "update.retry", attempt=attempt, reason=str(exc)
+                    )
                     logger.warning(
                         "update attempt %d failed (%s); re-executing the "
                         "affected cone",
@@ -944,23 +1017,38 @@ class QTaskSimulator(CircuitObserver):
         backend.  Stage-granular edges reproduce the partition graph's
         ordering (edges only ever point to later stages).
         """
-        plan = build_execution_plan(
-            affected, lambda stage: self._reader_for(stage, stage_order)
-        )
+        tel = self.telemetry
+        if tel.tracer.enabled:
+            with tel.tracer.span("plan.build") as pspan:
+                plan = build_execution_plan(
+                    affected, lambda stage: self._reader_for(stage, stage_order)
+                )
+                pspan.set("stages", plan.num_stages)
+                pspan.set("runs", plan.total_runs())
+        else:
+            plan = build_execution_plan(
+                affected, lambda stage: self._reader_for(stage, stage_order)
+            )
+        # Parent span for executor-side task spans: the enclosing ``update``
+        # span on this thread (None when tracing is off).
+        parent_span = tel.tracer.current_span_id()
         graph = TaskGraph("update_state")
         tasks: Dict[int, object] = {}
         for sp in plan.stage_plans:
-            tasks[sp.stage.uid] = graph.emplace(
-                self._make_plan_body(sp), name=sp.stage.label()
-            )
+            body = self._make_plan_body(sp)
+            # Trace context rides on the closure: Executor._guarded sees it
+            # and re-activates this session's telemetry (and span parent)
+            # inside whichever worker thread steals the task.
+            body.trace_context = (tel, parent_span)
+            tasks[sp.stage.uid] = graph.emplace(body, name=sp.stage.label())
         for pred_uid, succ_uid in plan.edges:
             tasks[pred_uid].precede(tasks[succ_uid])
         self.executor.run(graph)
 
-        self._plans_built += plan.num_stages
-        self._runs_batched += plan.total_runs()
-        self._plan_chunks += plan.total_chunks()
-        self._updates_planned += 1
+        self._plans_built.inc(plan.num_stages)
+        self._runs_batched.inc(plan.total_runs())
+        self._plan_chunks.inc(plan.total_chunks())
+        self._updates_planned.inc()
 
         block_writes = plan.block_writes
         if not self.copy_on_write:
@@ -998,9 +1086,17 @@ class QTaskSimulator(CircuitObserver):
             self._sync_prepare_runner(sp.stage, sp.reader) if sp.has_sync else None
         )
 
+        tel = self.telemetry
+
         def body():
             if run_prepare is not None:
-                run_prepare()
+                if tel.tracer.enabled:
+                    with tel.tracer.span(
+                        "stage.prepare", {"stage": sp.stage.label()}
+                    ):
+                        run_prepare()
+                else:
+                    run_prepare()
             table = sp.build_table()
             if table.num_runs == 0:
                 return None
@@ -1009,13 +1105,39 @@ class QTaskSimulator(CircuitObserver):
             if len(chunks) == 1:
                 self._run_plan_chunk(sp, chunks[0])
                 return None
-            return [
-                (lambda c=c: self._run_plan_chunk(sp, c)) for c in chunks
-            ]
+            # Subflow children run on arbitrary worker threads; carry the
+            # trace context (parented to the current span, i.e. the update)
+            # onto each chunk closure so their spans nest correctly.
+            parent = tel.tracer.current_span_id()
+            subtasks = []
+            for c in chunks:
+                fn = (lambda c=c: self._run_plan_chunk(sp, c))
+                fn.trace_context = (tel, parent)
+                subtasks.append(fn)
+            return subtasks
 
         return body
 
     def _run_plan_chunk(self, sp: StagePlan, chunk) -> None:
+        if self.telemetry.tracer.enabled:
+            amps = int((chunk.his - chunk.los + 1).sum()) if chunk.num_runs else 0
+            with self.telemetry.tracer.span(
+                "run.chunk",
+                {
+                    "stage": sp.stage.label(),
+                    "backend": (
+                        self._backend.name if self._backend is not None
+                        else "legacy"
+                    ),
+                    "runs": chunk.num_runs,
+                    "amps": amps,
+                },
+            ):
+                self._run_plan_chunk_impl(sp, chunk)
+        else:
+            self._run_plan_chunk_impl(sp, chunk)
+
+    def _run_plan_chunk_impl(self, sp: StagePlan, chunk) -> None:
         backend = self._backend
         if backend is None:
             # The breaker degraded this session to legacy mid-update;
@@ -1032,7 +1154,13 @@ class QTaskSimulator(CircuitObserver):
             # non-failure-safe backend still propagate.
             if not backend.failure_safe and not isinstance(exc, FaultInjected):
                 raise
-            self._backend_fallbacks += 1
+            self._backend_fallbacks.inc()
+            tsession.emit_event(
+                "chunk.fallback",
+                stage=sp.stage.label(),
+                backend=backend.name,
+                reason=f"{type(exc).__name__}: {exc}",
+            )
             with self._breaker_lock:
                 self._consecutive_chunk_failures += 1
                 tripped = (
@@ -1069,7 +1197,12 @@ class QTaskSimulator(CircuitObserver):
                     attempt += 1
                     if attempt > _RUN_FAULT_RETRIES:
                         raise
-                    self._run_retries += 1
+                    self._run_retries.inc()
+                    tsession.emit_event(
+                        "run.retry",
+                        stage=sp.stage.label(),
+                        attempt=attempt,
+                    )
 
     def _degrade_backend(self, reason: str) -> bool:
         """Walk the breaker ladder one rung down (caller holds breaker lock).
@@ -1102,6 +1235,7 @@ class QTaskSimulator(CircuitObserver):
                 "update": self._num_updates,
             }
             self._backend_transitions.append(transition)
+            tsession.emit_event("breaker.transition", **transition)
             logger.warning(
                 "circuit breaker tripped: backend %r -> %r (%s)",
                 current,
@@ -1306,13 +1440,13 @@ class QTaskSimulator(CircuitObserver):
         return PlanReport(
             backend=backend.name if backend is not None else "legacy",
             requested_backend=requested,
-            plans_built=self._plans_built,
-            runs_batched=self._runs_batched,
-            plan_chunks=self._plan_chunks,
-            backend_fallbacks=self._backend_fallbacks,
-            updates_planned=self._updates_planned,
-            run_retries=self._run_retries,
-            update_retries=self._update_retries,
+            plans_built=self._plans_built.value,
+            runs_batched=self._runs_batched.value,
+            plan_chunks=self._plan_chunks.value,
+            backend_fallbacks=self._backend_fallbacks.value,
+            updates_planned=self._updates_planned.value,
+            run_retries=self._run_retries.value,
+            update_retries=self._update_retries.value,
             backend_transitions=tuple(dict(t) for t in self._backend_transitions),
         )
 
@@ -1354,7 +1488,77 @@ class QTaskSimulator(CircuitObserver):
         stats["task_retries"] = getattr(self.executor, "task_retries", 0)
         if self._backend is not None:
             stats.update(self._backend.backend_stats())
+        self._refresh_gauges(stats)
         return stats
+
+    def _refresh_gauges(self, stats: Dict[str, object]) -> None:
+        """Mirror point-in-time statistics into the registry as gauges.
+
+        Counters already live in the registry; the graph shape, last-update
+        outcome and executor/pool mirrors are point-in-time readings, so
+        they surface as gauges -- refreshed on every ``statistics()`` /
+        ``telemetry_report()`` call rather than written on the hot path.
+        """
+        m = self.telemetry.metrics
+        m.gauge("graph.num_stages").set(stats["num_stages"])
+        m.gauge("graph.num_nodes").set(stats["num_nodes"])
+        m.gauge("graph.num_edges").set(stats["num_edges"])
+        m.gauge("graph.num_frontiers").set(stats["num_frontiers"])
+        m.gauge("update.count").set(stats["num_updates"])
+        m.gauge("update.last_affected_partitions").set(
+            stats["last_affected_partitions"]
+        )
+        m.gauge("update.last_elapsed_seconds", unit="s").set(
+            stats["last_elapsed_seconds"]
+        )
+        m.gauge("executor.task_retries").set(stats["task_retries"])
+        for key in (
+            "shipped_runs", "local_runs",
+            "pool_retries", "pool_respawns", "pool_timeouts",
+        ):
+            if key in stats:
+                m.gauge(f"pool.{key}").set(stats[key])
+
+    def explain_last_update(self) -> str:
+        """A human-readable account of the most recent ``update_state``.
+
+        Renders the update report, the plan pipeline's view of it, and --
+        the part no counter can answer -- the time-ordered recovery events
+        (faults, retries, fallbacks, breaker transitions, respawns) that
+        fired during the update.
+        """
+        report = self.last_update
+        lines = [
+            f"update #{self._num_updates - 1}"
+            if self._num_updates else "no update yet",
+            (
+                f"  affected {report.affected_partitions}"
+                f"/{report.total_partitions} partitions"
+                f" ({report.affected_fraction:.1%}),"
+                f" {report.executed_block_writes} block writes,"
+                f" {report.elapsed_seconds * 1e3:.2f} ms"
+            ),
+            (
+                f"  backend {self.plan_report().backend}"
+                f" (requested {self.plan_report().requested_backend}),"
+                f" {self._plan_chunks.value} chunks total"
+            ),
+        ]
+        events = self.telemetry.events.events(since=self._update_event_mark)
+        if events:
+            lines.append(f"  recovery events ({len(events)}):")
+            base = events[0].time
+            for e in events:
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in e.fields.items()
+                )
+                lines.append(
+                    f"    +{(e.time - base) * 1e3:8.2f} ms  {e.kind}"
+                    + (f"  [{detail}]" if detail else "")
+                )
+        else:
+            lines.append("  recovery events: none")
+        return "\n".join(lines)
 
     def dump_graph(self, stream: TextIO) -> None:
         """Write the current partition task graph in DOT format."""

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from typing import Dict, List, Optional, Tuple
 
@@ -187,22 +188,34 @@ def save_checkpoint(sim: QTaskSimulator, path: str) -> str:
     """
     if sim.graph.frontiers or sim._num_updates == 0:
         sim.update_state()
-    header, payload = _build_header(sim)
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(CHECKPOINT_MAGIC)
-            fh.write(_LEN_STRUCT.pack(len(header_bytes)))
-            fh.write(header_bytes)
-            for arr in payload:
-                fh.write(arr.tobytes())
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.remove(tmp)
+    with sim.telemetry.tracer.span("checkpoint.save") as span:
+        header, payload = _build_header(sim)
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        written = 0
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(CHECKPOINT_MAGIC)
+                fh.write(_LEN_STRUCT.pack(len(header_bytes)))
+                fh.write(header_bytes)
+                written = len(CHECKPOINT_MAGIC) + _LEN_STRUCT.size + len(
+                    header_bytes
+                )
+                for arr in payload:
+                    raw = arr.tobytes()
+                    fh.write(raw)
+                    written += len(raw)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        span.set("path", path)
+        span.set("bytes", written)
+    sim.telemetry.events.emit(
+        "checkpoint.save", path=path, bytes=written, blocks=len(payload)
+    )
     return path
 
 
@@ -331,6 +344,7 @@ def restore_simulator(
     keyed stream -- a restored session and a fork taken at checkpoint time
     evolve identically under identical edits.
     """
+    t0 = time.perf_counter()
     header, payload = _read_file(path)
     knobs = header["knobs"]
     circuit, handles = _rebuild_circuit(header)
@@ -350,11 +364,7 @@ def restore_simulator(
         kernel_backend if kernel_backend is not None else knobs["kernel_backend"]
     )
     sim._backend, fell_back = make_backend(sim.kernel_backend)
-    sim._plans_built = 0
-    sim._runs_batched = 0
-    sim._plan_chunks = 0
-    sim._updates_planned = 0
-    sim._backend_fallbacks = 1 if fell_back else 0
+    sim._init_telemetry(fell_back=fell_back)
     sim._init_fault_tolerance()
 
     sim._initial = InitialStateStore(sim.dim, sim.block_size)
@@ -440,4 +450,18 @@ def restore_simulator(
     sim.graph.clear_frontiers()
     sim._num_updates = max(1, int(header["num_updates"]))
     circuit.register_observer(sim)
+    duration = time.perf_counter() - t0
+    if sim.telemetry.tracer.enabled:
+        sim.telemetry.tracer.adopt(
+            "checkpoint.restore", t0, duration,
+            parent_id=None, pid=os.getpid(),
+            thread_id=0, thread_name="main",
+            attrs={"path": path},
+        )
+    sim.telemetry.events.emit(
+        "checkpoint.restore",
+        path=path,
+        bytes=len(payload),
+        seconds=duration,
+    )
     return sim

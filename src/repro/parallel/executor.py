@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core import faults
 from ..core.faults import FaultInjected
+from ..telemetry import session as tsession
 from .taskgraph import Task, TaskGraph
 from .workqueue import StealScheduler
 
@@ -79,11 +80,39 @@ class Executor(ABC):
     def _guarded(self, fn: Callable[[], object]) -> object:
         """Run a task body under the ``executor.task`` fault site.
 
-        With no fault plan installed this is one global-load branch around
-        ``fn()``; with one armed, injected faults trigger bounded in-place
-        retries (task bodies are idempotent by the disjoint-writes
-        contract) before propagating.
+        Task bodies stamped with a ``trace_context`` attribute -- a
+        ``(telemetry, parent_span_id)`` tuple the simulator's plan pipeline
+        attaches -- first re-activate that session's telemetry on *this*
+        thread (workers steal tasks, so ambient context does not follow)
+        and parent any spans the body opens to the caller's span.  Unmarked
+        bodies skip all of it on a single ``getattr`` miss.
+
+        With no fault plan installed the fault envelope is one global-load
+        branch around ``fn()``; with one armed, injected faults trigger
+        bounded in-place retries (task bodies are idempotent by the
+        disjoint-writes contract) before propagating.
         """
+        ctx = getattr(fn, "trace_context", None)
+        if ctx is None:
+            # graph tasks arrive as the bound ``Task.run`` method; the
+            # stamped closure is the task's ``fn``
+            task = getattr(fn, "__self__", None)
+            if task is not None:
+                ctx = getattr(getattr(task, "fn", None), "trace_context", None)
+        if ctx is None:
+            return self._run_guarded(fn)
+        telemetry, parent_span = ctx
+        prev_tel = tsession.activate(telemetry)
+        tracer = telemetry.tracer
+        prev_span = tracer.attach(parent_span) if tracer.enabled else None
+        try:
+            return self._run_guarded(fn)
+        finally:
+            if tracer.enabled:
+                tracer.detach(prev_span)
+            tsession.deactivate(prev_tel)
+
+    def _run_guarded(self, fn: Callable[[], object]) -> object:
         if faults.ACTIVE is None:
             return fn()
         attempt = 0
@@ -96,6 +125,7 @@ class Executor(ABC):
                 if attempt > _TASK_FAULT_RETRIES:
                     raise
                 self.task_retries += 1
+                tsession.emit_event("task.retry", attempt=attempt)
 
     #: how many subflow children a plan-granular task body should hand back:
     #: the simulator's plan pipeline splits one stage's run table into at

@@ -117,6 +117,29 @@ class SweepRunner:
     def active_forks(self) -> int:
         return len(self._forks)
 
+    def merged_metrics(self):
+        """Fleet-wide metrics: base session + every live fork, merged.
+
+        Forked sessions own their own registries (tagged with the base
+        session's id), so their counters are not silently lost when the
+        fleet is rebuilt or closed mid-sweep -- but they are also not
+        visible on the base session.  This folds the whole family into one
+        fresh :class:`~repro.telemetry.MetricsRegistry` (counters and
+        histograms accumulate; gauges keep the base session's reading)
+        without mutating any live registry.
+        """
+        from ..telemetry import MetricsRegistry
+
+        base = self.session.simulator.telemetry.metrics
+        merged = MetricsRegistry(
+            session_id=base.session_id,
+            parent_session_id=base.parent_session_id,
+        )
+        merged.merge(base)
+        for child, _ in self._forks:
+            merged.merge(child.simulator.telemetry.metrics)
+        return merged
+
     def _ensure_forks(self, wanted: int) -> None:
         from .executor import SequentialExecutor
 

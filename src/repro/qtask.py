@@ -56,6 +56,7 @@ class QTask:
         observable_cache: bool = True,
         kernel_backend: Optional[str] = None,
         seed: Optional[int] = None,
+        tracing: Optional[bool] = None,
     ) -> None:
         self.circuit = Circuit(num_qubits, num_clbits=num_clbits)
         self.simulator = QTaskSimulator(
@@ -70,6 +71,7 @@ class QTask:
             observable_cache=observable_cache,
             kernel_backend=kernel_backend,
             seed=seed,
+            tracing=tracing,
         )
         #: parent handle uid -> this session's handle (forked sessions only)
         self._fork_gate_map: Optional[Dict[int, GateHandle]] = None
@@ -356,12 +358,22 @@ class QTask:
         forks = [self.fork(executor=SequentialExecutor()) for _ in range(fleet)]
         n_clbits = self.circuit.num_clbits
 
+        tracer = self.simulator.telemetry.tracer
+
         def run_chunk(fork_id: int) -> List[str]:
             child = forks[fork_id]
             out: List[str] = []
             for shot in range(fork_id, shots, fleet):
-                child.simulator.reset_trajectory((base_seed, shot))
-                child.update_state()
+                if tracer.enabled:
+                    # Shot spans land on the *parent* session's tracer (one
+                    # exported timeline for the whole fleet), tagged with
+                    # the shot index and which fork ran it.
+                    with tracer.span("shot", {"shot": shot, "fork": fork_id}):
+                        child.simulator.reset_trajectory((base_seed, shot))
+                        child.update_state()
+                else:
+                    child.simulator.reset_trajectory((base_seed, shot))
+                    child.update_state()
                 out.append(child.outcomes.bitstring(range(n_clbits)))
             return out
 
@@ -469,6 +481,51 @@ class QTask:
         and bug reports attach to a run.
         """
         return self.simulator.statistics()
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """This session's :class:`~repro.telemetry.Telemetry` bundle.
+
+        One per session (forks get their own, tagged with the parent's
+        session id): the metrics registry behind :meth:`statistics`, the
+        tracer behind :meth:`export_trace` and the recovery event log
+        behind :meth:`explain_last_update`.
+        """
+        return self.simulator.telemetry
+
+    def telemetry_report(self) -> dict:
+        """Everything the telemetry subsystem knows, as one nested dict.
+
+        Session ids, every counter, every gauge (refreshed from the live
+        graph/executor state first), every histogram's
+        count/sum/min/mean/max/p50/p95, and span/event buffer health.  The
+        flat legacy view with stable keys remains :meth:`statistics`;
+        Prometheus text exposition is
+        ``session.telemetry.metrics.prometheus_text()``.
+        """
+        self.simulator.statistics()  # refresh point-in-time gauges
+        return self.simulator.telemetry.report()
+
+    def explain_last_update(self) -> str:
+        """A human-readable account of the most recent update.
+
+        Shows what the update touched, which backend executed it, and the
+        time-ordered recovery events (injected faults, retries, fallbacks,
+        breaker transitions, pool respawns) that fired during it.
+        """
+        return self.simulator.explain_last_update()
+
+    def export_trace(self, path: Optional[str] = None):
+        """Export recorded spans as chrome-trace JSON (Perfetto-loadable).
+
+        Requires the session to have been created with ``tracing=True`` (or
+        ``QTASK_TRACING=1``); returns the trace dict and, when ``path`` is
+        given, also writes it there.  Load the file at
+        https://ui.perfetto.dev or ``chrome://tracing``.
+        """
+        return self.simulator.telemetry.tracer.export_chrome_trace(path)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,123 @@
+"""The per-session telemetry bundle and its thread-local activation.
+
+:class:`Telemetry` groups the three pillars -- metrics registry, tracer,
+event log -- under one session id.  Each simulator session (including
+every COW fork) owns one bundle; forks carry ``parent_session_id`` so
+fleet aggregation can reassemble the family tree instead of silently
+losing fork stats.
+
+Deep modules (``core/faults``, ``core/kernels``) must not take a
+telemetry object through every signature, and kernel backends are shared
+across forked sessions -- so discovery is ambient: the simulator
+*activates* its bundle on the current thread around an update
+(:func:`activate`/:func:`deactivate`), the executor re-activates it
+inside worker threads from the task's trace context, and anything
+downstream reaches it via :func:`current` or fires events through
+:func:`emit_event` (a no-op when nothing is active, which keeps the
+fault-injection hot path allocation-free for untraced sessions).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from .events import EventLog
+from .metrics import MetricsRegistry, next_session_id
+from .tracing import Tracer
+
+__all__ = [
+    "Telemetry",
+    "current",
+    "activate",
+    "deactivate",
+    "emit_event",
+]
+
+_tls = threading.local()
+
+
+class Telemetry:
+    """One session's metrics + tracer + event log."""
+
+    def __init__(
+        self,
+        *,
+        tracing: Optional[bool] = None,
+        parent: Optional["Telemetry"] = None,
+        span_capacity: int = 4096,
+        event_capacity: int = 512,
+    ) -> None:
+        if tracing is None:
+            tracing = os.environ.get("QTASK_TRACING", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        self.session_id = next_session_id()
+        self.parent_session_id = parent.session_id if parent is not None else None
+        self.metrics = MetricsRegistry(
+            session_id=self.session_id,
+            parent_session_id=self.parent_session_id,
+        )
+        self.tracer = Tracer(enabled=bool(tracing), capacity=span_capacity)
+        self.events = EventLog(capacity=event_capacity)
+
+    def report(self) -> Dict[str, Any]:
+        """One dict with everything: ids, metrics digest, span/event health."""
+        snapshot = self.metrics.as_dict()
+        histograms = {}
+        for name, summary in snapshot["histograms"].items():
+            metric = self.metrics.get(name)
+            entry = dict(summary)
+            if metric is not None and metric.unit:
+                entry["unit"] = metric.unit
+            histograms[name] = entry
+        return {
+            "session_id": self.session_id,
+            "parent_session_id": self.parent_session_id,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": histograms,
+            "spans": {
+                "enabled": self.tracer.enabled,
+                "recorded": len(self.tracer.spans()),
+                "dropped": self.tracer.dropped,
+            },
+            "events": {
+                "recorded": len(self.events),
+                "dropped": self.events.dropped,
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Telemetry(session={self.session_id}, "
+            f"parent={self.parent_session_id}, "
+            f"tracing={self.tracer.enabled})"
+        )
+
+
+def current() -> Optional[Telemetry]:
+    """The telemetry bundle active on this thread, if any."""
+    return getattr(_tls, "telemetry", None)
+
+
+def activate(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Make ``telemetry`` current on this thread; returns the previous one.
+
+    Restore with ``deactivate(previous)`` in a ``finally``.
+    """
+    prev = getattr(_tls, "telemetry", None)
+    _tls.telemetry = telemetry
+    return prev
+
+
+def deactivate(prev: Optional[Telemetry]) -> None:
+    _tls.telemetry = prev
+
+
+def emit_event(kind: str, **fields: Any) -> None:
+    """Emit into the active session's event log; no-op when none is active."""
+    telemetry = getattr(_tls, "telemetry", None)
+    if telemetry is not None:
+        telemetry.events.emit(kind, **fields)

@@ -76,7 +76,10 @@ class TestCompareEntry:
         fresh = dict(baseline)
         del fresh["state_max_abs_diff"]
         failures = checker.compare_entry(chain_entry, baseline, fresh)
-        assert any("missing metric" in f for f in failures)
+        assert any(
+            "missing accuracy metric" in f and "state_max_abs_diff" in f
+            for f in failures
+        )
 
     def test_no_baseline_gates_on_floor(self, chain_entry):
         fresh = {"passed": True, "amplitude_max_abs_diff": 0.0,
@@ -148,13 +151,19 @@ class TestManifest:
         # plan_batch keeps its speedup gate ARMED in CI: it A/Bs dispatch
         # overhead within one process on one host, so unlike cross-host
         # wall-clock comparisons it is robust to runner noise, and the plan
-        # pipeline's whole reason to exist is that threshold.
+        # pipeline's whole reason to exist is that threshold.  telemetry
+        # gates on an overhead *ceiling* (same one-host robustness), so it
+        # has no --min-speedup knob at all.
         armed = {"plan_batch": "1.5"}
         for entry in manifest["benchmarks"]:
             assert os.path.exists(os.path.join(REPO_ROOT, entry["script"]))
             args = entry.get("args", [])
-            # min-speedup 0 makes the benchmark's own `passed` accuracy-only
-            assert "--min-speedup" in args
-            expected = armed.get(entry["name"], "0")
-            assert args[args.index("--min-speedup") + 1] == expected
+            if entry["name"] == "telemetry":
+                assert "--max-overhead" in args
+                assert args[args.index("--max-overhead") + 1] == "0.02"
+            else:
+                # min-speedup 0 makes the benchmark's `passed` accuracy-only
+                assert "--min-speedup" in args
+                expected = armed.get(entry["name"], "0")
+                assert args[args.index("--min-speedup") + 1] == expected
             assert entry.get("accuracy_metrics"), entry["name"]

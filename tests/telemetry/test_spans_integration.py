@@ -1,0 +1,203 @@
+"""End-to-end tracing: spans nest across executor tasks and pool workers.
+
+The acceptance scenario for the telemetry subsystem: a traced incremental
+update on a deep cascade must export a valid chrome-trace JSON whose
+``run.chunk`` spans nest under ``plan.build``/``update`` even when they
+executed on different executor worker threads -- and, when the process
+backend is available, whose ``pool.chunk`` spans carry worker pids.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.kernels import BackendUnavailable, ProcessPoolBackend
+from repro.core.simulator import QTaskSimulator
+from repro.qtask import QTask
+
+_CASCADE = ["rz", "x", "rz", "y"]
+
+
+def build_cascade(num_qubits, num_stages, *, block_size, **kwargs):
+    ckt = Circuit(num_qubits)
+    levels = [[Gate("h", (q,)) for q in range(num_qubits)]]
+    for i in range(num_stages):
+        name = _CASCADE[i % len(_CASCADE)]
+        params = (0.1 + 0.001 * i,) if name == "rz" else ()
+        levels.append([Gate(name, (i % 3,), params)])
+    ckt.from_levels(levels)
+    return ckt, QTaskSimulator(ckt, block_size=block_size, **kwargs)
+
+
+def test_traced_cascade_exports_nested_spans_from_multiple_workers(tmp_path):
+    """The ISSUE acceptance criterion: 120 stages, 2 workers, valid export."""
+    ckt, sim = build_cascade(
+        10, 120, block_size=16, num_workers=2,
+        kernel_backend="numpy", tracing=True,
+    )
+    try:
+        sim.update_state()
+        handle = next(h for h in ckt.gates() if h.gate.name == "rz")
+        ckt.update_gate(handle, 0.7)
+        sim.update_state()
+
+        spans = sim.telemetry.tracer.spans()
+        by_name = {}
+        for r in spans:
+            by_name.setdefault(r.name, []).append(r)
+        assert {"update", "plan.build", "run.chunk"} <= set(by_name)
+
+        updates = {r.span_id: r for r in by_name["update"]}
+        assert len(updates) == 2  # full build + incremental retune
+        for build in by_name["plan.build"]:
+            assert build.parent_id in updates
+            assert build.attrs["stages"] >= 1
+        for chunk in by_name["run.chunk"]:
+            assert chunk.parent_id in updates
+            assert chunk.attrs["backend"] == "numpy"
+            assert chunk.attrs["runs"] >= 1
+            assert chunk.attrs["amps"] >= 1
+            # a chunk's time lies inside its parent update's window
+            parent = updates[chunk.parent_id]
+            assert parent.start <= chunk.start
+            assert chunk.start + chunk.duration <= (
+                parent.start + parent.duration + 1e-6
+            )
+
+        # chunks really ran on >= 2 distinct executor worker threads
+        chunk_threads = {
+            r.thread_name for r in by_name["run.chunk"]
+            if r.thread_name.startswith("qtask-worker-")
+        }
+        assert len(chunk_threads) >= 2
+
+        # the export is valid chrome-trace JSON mirroring those spans
+        path = str(tmp_path / "cascade.json")
+        trace = sim.telemetry.tracer.export_chrome_trace(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            assert json.load(fh)["traceEvents"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(spans)
+        assert min(e["ts"] for e in slices) == 0.0
+    finally:
+        sim.close()
+
+
+def test_pool_worker_spans_carry_worker_pids():
+    """Process-backend spans: ship/receive in the parent, chunks by pid."""
+    try:
+        backend = ProcessPoolBackend(num_workers=2, min_ship_amps=1)
+    except BackendUnavailable as exc:
+        pytest.skip(f"process backend unavailable: {exc}")
+    ckt, sim = build_cascade(
+        8, 24, block_size=16, num_workers=1,
+        kernel_backend=backend, tracing=True,
+    )
+    try:
+        sim.update_state()
+        spans = sim.telemetry.tracer.spans()
+        ships = [r for r in spans if r.name == "pool.ship"]
+        chunks = [r for r in spans if r.name == "pool.chunk"]
+        receives = [r for r in spans if r.name == "pool.receive"]
+        assert ships and chunks and receives
+        ship_ids = {r.span_id for r in ships}
+        parent_pid = os.getpid()
+        for chunk in chunks:
+            assert chunk.parent_id in ship_ids
+            assert chunk.pid != parent_pid  # measured inside a fork worker
+            assert chunk.attrs["runs"] >= 1
+        # at least one ship fanned out to a real worker process
+        assert {r.pid for r in chunks} - {parent_pid}
+    finally:
+        sim.close()
+
+
+def test_telemetry_report_is_consistent_with_statistics():
+    ckt = QTask(6, num_workers=2, tracing=True)
+    net = ckt.insert_net()
+    for q in ckt.qubits():
+        ckt.insert_gate("h", net, q)
+    ckt.update_state()
+    net2 = ckt.insert_net()
+    ckt.insert_gate("cx", net2, 0, 1)
+    ckt.update_state()
+    try:
+        stats = ckt.simulator.statistics()
+        report = ckt.telemetry_report()
+        assert report["session_id"] == ckt.telemetry.session_id
+        # the update latency histogram saw exactly one observation per update
+        upd = report["histograms"]["update.seconds"]
+        assert upd["count"] == stats["num_updates"] == 2
+        assert upd["unit"] == "s"
+        assert 0 < upd["min"] <= upd["p50"] <= upd["p95"] <= upd["max"]
+        assert upd["sum"] == pytest.approx(upd["count"] * upd["mean"])
+        # counters mirror the statistics() keys they replaced
+        assert report["counters"]["plan.plans_built"] == stats["plans_built"]
+        assert report["counters"]["plan.chunks"] == stats["plan_chunks"]
+        assert report["gauges"]["update.count"] == stats["num_updates"]
+        assert report["gauges"]["graph.num_stages"] == stats["num_stages"]
+        assert report["spans"]["enabled"] is True
+        assert report["spans"]["recorded"] > 0
+    finally:
+        ckt.close()
+
+
+def test_forked_sessions_keep_their_own_tagged_registry():
+    parent = QTask(5, num_workers=2)
+    net = parent.insert_net()
+    for q in parent.qubits():
+        parent.insert_gate("h", net, q)
+    parent.update_state()
+    child = parent.fork()
+    try:
+        base_plans = parent.simulator.statistics()["plans_built"]
+        cnet = child.insert_net()
+        child.insert_gate("x", cnet, 0)
+        child.update_state()
+        ctel = child.simulator.telemetry
+        ptel = parent.simulator.telemetry
+        assert ctel.session_id != ptel.session_id
+        assert ctel.parent_session_id == ptel.session_id
+        assert ctel.metrics.session_id == ctel.session_id
+        # the child's work landed in the child's registry, not the parent's
+        assert ctel.metrics.get("plan.plans_built").value >= 1
+        assert parent.simulator.statistics()["plans_built"] == base_plans
+    finally:
+        child.close()
+        parent.close()
+
+
+def test_sweep_runner_merges_fleet_metrics():
+    from repro.parallel.sweep import SweepRunner
+
+    ckt = QTask(5, num_workers=2)
+    net = ckt.insert_net()
+    for q in ckt.qubits():
+        ckt.insert_gate("h", net, q)
+    theta = ckt.insert_net()
+    handle = ckt.insert_gate("rz", theta, 0, params=[0.1])
+    ckt.update_state()
+
+    with SweepRunner(ckt, [handle], observable="Z" * 5) as runner:
+        results = runner.run([(0.2,), (0.4,), (0.6,), (0.8,)])
+        assert len(results) == 4
+        merged = runner.merged_metrics()
+        base = ckt.simulator.telemetry.metrics
+        assert merged.session_id == base.session_id
+        fleet_updates = sum(
+            child.simulator.telemetry.metrics.get("plan.updates_planned").value
+            for child, _ in runner._forks
+        )
+        assert fleet_updates >= 4  # the sweep points ran on forks
+        assert merged.counter("plan.updates_planned").value == (
+            base.counter("plan.updates_planned").value + fleet_updates
+        )
+        # merging is a pure read: live registries are untouched
+        assert base.counter("plan.updates_planned").value < (
+            merged.counter("plan.updates_planned").value
+        )
+    ckt.close()
