@@ -140,6 +140,7 @@ def qtask_factory(
     block_directory: bool = True,
     observable_cache: bool = True,
     kernel_backend: Optional[str] = None,
+    store_transport: Optional[object] = None,
     name: str = "qTask",
 ) -> SimulatorFactory:
     def build(circuit: Circuit) -> SimulatorAdapter:
@@ -153,6 +154,7 @@ def qtask_factory(
             block_directory=block_directory,
             observable_cache=observable_cache,
             kernel_backend=kernel_backend,
+            store_transport=store_transport,
         )
         return SimulatorAdapter(name, sim, incremental=True)
 

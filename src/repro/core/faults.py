@@ -16,6 +16,7 @@ site                  where it fires
 ``pool.receive``      SharedMemory receive (workers -> parent)
 ``executor.task``     work-stealing executor task body
 ``cow.publish``       block publish into a :class:`~repro.core.cow.BlockStore`
+``store.shard``       sharded-transport round-trip (parent side, before send)
 ====================  =====================================================
 
 Design constraints (all load-bearing):
@@ -74,6 +75,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "pool.receive",
     "executor.task",
     "cow.publish",
+    "store.shard",
 )
 
 

@@ -1228,6 +1228,11 @@ class ProcessPoolBackend(KernelBackend):
             self.num_workers < 2
             or len(shippable) < 2
             or total < self.min_ship_amps
+            # A remote-backed store already pays one serialisation hop per
+            # block; shipping through SharedMemory would fetch every input
+            # from the shards only to re-ship the outputs back -- strictly
+            # worse than executing in-process against the read cache.
+            or getattr(store, "is_remote_backed", False)
         ):
             self.local_runs += table.num_runs
             self._inner.execute_plan(reader, store, table)

@@ -67,6 +67,7 @@ from .stage import (
     Stage,
     UnitaryStage,
 )
+from .transport import StorageTransport, TransportFailure, make_transport
 
 __all__ = ["UpdateReport", "QTaskSimulator"]
 
@@ -81,6 +82,11 @@ _RUN_FAULT_RETRIES = 5
 
 #: bounded whole-update re-executions (the outermost recovery layer)
 _UPDATE_FAULT_RETRIES = 3
+
+#: bounded store-transport recoveries per update: attempt 1 respawns dead
+#: shards, attempt 2 trips the store breaker (sharded -> local), after which
+#: no further TransportFailure is possible -- 3 is pure headroom
+_STORE_RECOVERY_RETRIES = 3
 
 
 @dataclass
@@ -116,6 +122,7 @@ class QTaskSimulator(CircuitObserver):
         block_directory: bool = True,
         observable_cache: bool = True,
         kernel_backend: Optional[str] = None,
+        store_transport: Optional[object] = None,
         seed: Optional[int] = None,
         tracing: Optional[bool] = None,
     ) -> None:
@@ -152,8 +159,23 @@ class QTaskSimulator(CircuitObserver):
             else os.environ.get("QTASK_KERNEL_BACKEND", "auto")
         )
         self._backend, fell_back = make_backend(self.kernel_backend)
+
+        #: requested store transport spec: "local" | "sharded" (or a
+        #: :class:`~repro.core.transport.StorageTransport` instance);
+        #: ``None`` defers to the ``QTASK_STORE_TRANSPORT`` environment
+        #: variable (default "local"), mirroring the kernel-backend knob so
+        #: CI can run the whole suite against the sharded store without
+        #: touching call sites.
+        self.store_transport = (
+            store_transport
+            if store_transport is not None
+            else os.environ.get("QTASK_STORE_TRANSPORT", "local")
+        )
+        self._store_transport, st_fell_back = make_transport(self.store_transport)
+
         self._init_telemetry(tracing=tracing, fell_back=fell_back)
         self._init_fault_tolerance()
+        self._init_store_state(fell_back=st_fell_back)
 
         self._initial = InitialStateStore(self.dim, self.block_size)
         #: block-ownership index: block id -> stages holding it, seq-sorted.
@@ -271,6 +293,33 @@ class QTaskSimulator(CircuitObserver):
             "recovery.update_retries", help="whole-update fault retries"
         )
 
+    def _init_store_state(self, *, fell_back: bool = False) -> None:
+        """Per-session store-transport recovery state (the store breaker)."""
+        #: transport failures that trip the sharded -> local store breaker;
+        #: failure #1 respawns dead shards, failure #threshold falls back
+        self.store_breaker_threshold = 2
+        self._store_failures = 0
+        #: store-breaker transitions, oldest first ({from, to, reason, update})
+        self._store_transitions: List[Dict[str, object]] = []
+        #: the sharded transport this session ever used, if any -- counters
+        #: (remote_reads / bytes_shipped / shard_restarts) keep reporting
+        #: from it even after the breaker swapped the live transport to local
+        self._store_remote = (
+            self._store_transport if self._store_transport.is_remote else None
+        )
+        if fell_back:
+            # "sharded" requested on a fork-less host: record the substitution
+            # the same way the breaker would, minus the event (no telemetry
+            # session is active during construction).
+            self._store_transitions.append(
+                {
+                    "from": "sharded",
+                    "to": self._store_transport.name,
+                    "reason": "transport unavailable",
+                    "update": 0,
+                }
+            )
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -278,6 +327,12 @@ class QTaskSimulator(CircuitObserver):
     def close(self) -> None:
         """Detach from the circuit and release the executor (if owned)."""
         self.circuit.unregister_observer(self)
+        if self._store_transport.is_remote:
+            # Free this session's shard payloads; the shard processes are
+            # module-shared (a fork fleet keeps using them) and are reaped
+            # by shutdown_shard_runtimes() at exit.
+            for stage in self.graph.stages:
+                stage.store.release_remote()
         if self._owns_executor:
             self.executor.close()
 
@@ -313,6 +368,7 @@ class QTaskSimulator(CircuitObserver):
         *,
         executor: Optional[Executor] = None,
         kernel_backend: Optional[str] = None,
+        store_transport: Optional[object] = None,
     ) -> "QTaskSimulator":
         """A child simulator sharing this one's computed state copy-on-write.
 
@@ -363,6 +419,19 @@ class QTaskSimulator(CircuitObserver):
         else:
             child.kernel_backend = kernel_backend
             child._backend, fell_back = make_backend(kernel_backend)
+        # The store transport is shared by default: the child's stage stores
+        # adopt the parent's blocks by reference, which only works when both
+        # sides resolve payloads through the same placement (share_from
+        # falls back to copying across transport boundaries).  A fleet of
+        # forks therefore aliases one set of shard payloads; pass
+        # ``store_transport`` to rehome a child explicitly.
+        if store_transport is None:
+            child.store_transport = self.store_transport
+            child._store_transport = self._store_transport
+            st_fell_back = False
+        else:
+            child.store_transport = store_transport
+            child._store_transport, st_fell_back = make_transport(store_transport)
         # The child gets its own registry (counters start at zero) tagged
         # with this session's id, so fleet aggregation can merge fork stats
         # back instead of losing them -- see SweepRunner.merged_metrics().
@@ -372,6 +441,7 @@ class QTaskSimulator(CircuitObserver):
             fell_back=fell_back,
         )
         child._init_fault_tolerance()
+        child._init_store_state(fell_back=st_fell_back)
         child._initial = InitialStateStore(child.dim, child.block_size)
         child._directory = BlockDirectory(child._initial)
         child.graph = PartitionGraph(
@@ -441,6 +511,7 @@ class QTaskSimulator(CircuitObserver):
     # ------------------------------------------------------------------
 
     def _on_stage_entered(self, stage: Stage) -> None:
+        stage.store.bind_transport(self._store_transport)
         if isinstance(stage, DynamicStage):
             stage.bind_record(self.outcomes)
             if isinstance(stage, ClassicallyControlledStage):
@@ -491,6 +562,7 @@ class QTaskSimulator(CircuitObserver):
             self.outcomes.discard_op(stage.op.op_index)
         if self.block_directory:
             self._directory.detach(stage)
+        stage.store.release_remote()
 
     def _restore_clbit(self, clbit: int) -> None:
         """Rebind ``clbit`` to the last surviving measurement that wrote it."""
@@ -893,16 +965,120 @@ class QTaskSimulator(CircuitObserver):
         try:
             if tel.tracer.enabled:
                 with tel.tracer.span("update") as span:
-                    report = self._update_state_impl()
+                    report = self._update_with_store_recovery()
                     span.set("affected", report.affected_partitions)
                     span.set("block_writes", report.executed_block_writes)
                     span.set("update", self._num_updates - 1)
             else:
-                report = self._update_state_impl()
+                report = self._update_with_store_recovery()
             self._update_seconds.observe(report.elapsed_seconds)
             return report
         finally:
             tsession.deactivate(prev)
+
+    def _update_with_store_recovery(self) -> UpdateReport:
+        """Run the update inside the store-transport recovery envelope.
+
+        With a remote transport, any read or publish can surface a
+        :class:`TransportFailure` (a SIGKILLed shard, an escalated run of
+        ``store.shard`` faults).  Remote payloads are then gone wholesale,
+        so recovery is coarse: :meth:`_recover_store_transport` respawns the
+        dead shards (or, past the store breaker threshold, falls back to
+        the local transport), forsakes every stage store and re-marks every
+        stage a full frontier.  The re-execution replays the *recorded*
+        trajectory -- outcomes are temporarily forced so re-collapses land
+        on the values already observed instead of redrawing -- and the
+        caller's forcing table is restored afterwards.  The local transport
+        cannot fail, so the common path is one straight call.
+        """
+        transport = self._store_transport
+        if not transport.is_remote:
+            return self._update_state_impl()
+        rollback = self.outcomes.snapshot()
+        recorded = self.outcomes.recorded_outcomes()
+        saved_forced: Optional[Dict[int, int]] = None
+        attempt = 0
+        try:
+            if not transport.healthy():
+                self._recover_store_transport(
+                    "shard process died between updates"
+                )
+                saved_forced = self.outcomes.replace_forced(recorded)
+            while True:
+                try:
+                    return self._update_state_impl()
+                except TransportFailure as exc:
+                    attempt += 1
+                    if attempt > _STORE_RECOVERY_RETRIES:
+                        raise
+                    self._recover_store_transport(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    self.outcomes.restore(rollback)
+                    forced = self.outcomes.replace_forced(recorded)
+                    if saved_forced is None:
+                        saved_forced = forced
+        finally:
+            if saved_forced is not None:
+                self.outcomes.replace_forced(saved_forced)
+
+    def _recover_store_transport(self, reason: str) -> None:
+        """Respawn-or-fallback after a transport failure, then rebuild.
+
+        A dead shard loses its span and a respawn purges the survivors (one
+        consistent, empty placement for every store on the runtime), so the
+        previously computed blocks are unconditionally gone: every stage
+        store forsakes its bookkeeping and every stage becomes a full
+        frontier for the caller to re-execute.  The first failure respawns;
+        reaching ``store_breaker_threshold`` trips the store breaker, which
+        swaps this session to the local transport for good and emits the
+        same ``breaker.transition`` event the backend ladder uses.
+        """
+        self._store_failures += 1
+        transport = self._store_transport
+        recovered = False
+        if (
+            transport.is_remote
+            and self._store_failures < self.store_breaker_threshold
+        ):
+            try:
+                recovered = transport.respawn_dead()
+            except TransportFailure:  # pragma: no cover - respawn raced
+                recovered = False
+        if not recovered and transport.is_remote:
+            self._store_transport, _ = make_transport("local")
+            transition = {
+                "from": transport.name,
+                "to": self._store_transport.name,
+                "reason": reason,
+                "update": self._num_updates,
+            }
+            self._store_transitions.append(transition)
+            tsession.emit_event("breaker.transition", **transition)
+            logger.warning(
+                "store breaker tripped: transport %r -> %r (%s)",
+                transition["from"],
+                transition["to"],
+                reason,
+            )
+        else:
+            logger.warning(
+                "store transport failure (%s); shards respawned, "
+                "re-executing from the initial state",
+                reason,
+            )
+        tsession.emit_event(
+            "store.recovery",
+            reason=reason,
+            transport=self._store_transport.name,
+            failures=self._store_failures,
+        )
+        target = self._store_transport
+        for stage in self.graph.stages:
+            stage.store.forsake_blocks(target)
+            self.graph.touch_stage_full(stage)
+        # Derived caches hold values computed from the lost blocks.
+        self._notify_dirty(range(self.n_blocks))
 
     def _update_state_impl(self) -> UpdateReport:
         start = time.perf_counter()
@@ -1138,6 +1314,25 @@ class QTaskSimulator(CircuitObserver):
             self._run_plan_chunk_impl(sp, chunk)
 
     def _run_plan_chunk_impl(self, sp: StagePlan, chunk) -> None:
+        store = sp.stage.store
+        if store.is_remote_backed:
+            # Batch-fetch the chunk's input spans into the store read caches
+            # up front: one transport round-trip per contiguous span instead
+            # of one per cache-missing block inside the kernels.
+            prefetch = getattr(sp.reader, "prefetch_blocks", None)
+            if prefetch is not None:
+                for first, last in chunk.block_spans(self.block_size):
+                    prefetch(first, last)
+            # Symmetrically, batch the output side: kernel publishes stay
+            # local for the duration of the chunk and ship in contiguous
+            # runs when the batch closes (one round-trip per run, not one
+            # per publish).
+            with store.publish_batch():
+                self._execute_chunk(sp, chunk)
+        else:
+            self._execute_chunk(sp, chunk)
+
+    def _execute_chunk(self, sp: StagePlan, chunk) -> None:
         backend = self._backend
         if backend is None:
             # The breaker degraded this session to legacy mid-update;
@@ -1420,7 +1615,10 @@ class QTaskSimulator(CircuitObserver):
         cost, and ``savings_fraction`` the headroom between the two (the
         §III.F.3 copy-on-write saving).
         """
-        return MemoryReport.from_stores(s.store for s in self.graph.stages)
+        return MemoryReport.from_stores(
+            (s.store for s in self.graph.stages),
+            transport=self._store_transport,
+        )
 
     def plan_report(self) -> PlanReport:
         """Dispatch-overhead accounting of the plan pipeline.
@@ -1479,6 +1677,17 @@ class QTaskSimulator(CircuitObserver):
                 ),
                 "last_affected_partitions": self.last_update.affected_partitions,
                 "last_elapsed_seconds": self.last_update.elapsed_seconds,
+                "store_transport": self._store_transport.name,
+                "store_remote_reads": getattr(
+                    self._store_remote, "remote_reads", 0
+                ),
+                "store_bytes_shipped": getattr(
+                    self._store_remote, "bytes_shipped", 0
+                ),
+                "store_shard_restarts": getattr(
+                    self._store_remote, "shard_restarts", 0
+                ),
+                "store_transitions": len(self._store_transitions),
             }
         )
         stats.update(self.plan_report().as_dict())
@@ -1518,6 +1727,12 @@ class QTaskSimulator(CircuitObserver):
         ):
             if key in stats:
                 m.gauge(f"pool.{key}").set(stats[key])
+        # Transport counters live on the (possibly shared) transport object;
+        # mirror them into this session's registry like the pool stats.
+        m.gauge("store.remote_reads").set(stats["store_remote_reads"])
+        m.gauge("store.bytes_shipped").set(stats["store_bytes_shipped"])
+        m.gauge("store.shard_restarts").set(stats["store_shard_restarts"])
+        m.gauge("store.transitions").set(stats["store_transitions"])
 
     def explain_last_update(self) -> str:
         """A human-readable account of the most recent ``update_state``.

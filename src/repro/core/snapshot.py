@@ -37,7 +37,6 @@ import json
 import os
 import struct
 import time
-import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +59,12 @@ from .stage import (
     MeasureStage,
     ResetStage,
     UnitaryStage,
+)
+from .transport import (
+    TransportFailure,
+    decode_block,
+    encode_block,
+    make_transport,
 )
 
 __all__ = ["CHECKPOINT_MAGIC", "save_checkpoint", "restore_simulator"]
@@ -131,7 +136,10 @@ def _build_header(sim: QTaskSimulator) -> Tuple[Dict[str, object], List[np.ndarr
                     f"stage {stage!r} block {b} has shape {arr.shape}, "
                     f"expected ({block_len},)"
                 )
-            blocks_json.append([int(b), zlib.crc32(arr.tobytes()) & 0xFFFFFFFF])
+            # The checkpoint block codec doubles as the shard wire format
+            # (core/transport): raw complex128 bytes + CRC32 per block.
+            raw, crc = encode_block(arr)
+            blocks_json.append([int(b), crc])
             payload.append(arr)
         entry: Dict[str, object] = {
             "kind": stage.kind,
@@ -164,6 +172,7 @@ def _build_header(sim: QTaskSimulator) -> Tuple[Dict[str, object], List[np.ndarr
             "block_directory": sim.block_directory,
             "observable_cache": sim.observable_cache,
             "kernel_backend": requested,
+            "store_transport": sim._store_transport.name,
         },
         "num_updates": sim._num_updates,
         "nets": nets_json,
@@ -326,6 +335,7 @@ def restore_simulator(
     executor: Optional[Executor] = None,
     num_workers: Optional[int] = None,
     kernel_backend: Optional[str] = None,
+    store_transport: Optional[object] = None,
 ) -> QTaskSimulator:
     """Reconstruct a :class:`QTaskSimulator` from a checkpoint file.
 
@@ -364,8 +374,19 @@ def restore_simulator(
         kernel_backend if kernel_backend is not None else knobs["kernel_backend"]
     )
     sim._backend, fell_back = make_backend(sim.kernel_backend)
+    # Placement is execution-layer state like the executor: the restored
+    # session re-ships its loaded blocks through whichever transport it is
+    # given (override) or the checkpointed spec.  Old checkpoints predate
+    # the knob and restore as local.
+    sim.store_transport = (
+        store_transport
+        if store_transport is not None
+        else knobs.get("store_transport", "local")
+    )
+    sim._store_transport, st_fell_back = make_transport(sim.store_transport)
     sim._init_telemetry(fell_back=fell_back)
     sim._init_fault_tolerance()
+    sim._init_store_state(fell_back=st_fell_back)
 
     sim._initial = InitialStateStore(sim.dim, sim.block_size)
     sim._directory = BlockDirectory(sim._initial)
@@ -431,12 +452,13 @@ def restore_simulator(
                     f"checkpoint {path!r} is truncated (block {b} of "
                     f"stage {stage!r})"
                 )
-            if zlib.crc32(chunk) & 0xFFFFFFFF != crc:
+            try:
+                arr = decode_block(chunk, crc, block_len)
+            except TransportFailure as exc:
                 raise CheckpointError(
                     f"checksum mismatch on block {b} of stage {stage!r}; "
                     f"checkpoint {path!r} is corrupt"
-                )
-            arr = np.frombuffer(chunk, dtype=_DTYPE)
+                ) from exc
             stage.store.write_block(int(b), arr, copy=False)
             offset += block_bytes
     if offset != len(payload):

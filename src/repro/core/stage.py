@@ -147,7 +147,14 @@ class Stage:
     # -- helpers --------------------------------------------------------------
 
     def write_full(self, vector: np.ndarray) -> None:
-        """Store an entire state vector (used by non-COW mode and matvec)."""
+        """Store an entire state vector (used by non-COW mode and matvec).
+
+        Publishes through :meth:`~repro.core.cow.BlockStore.write_range`,
+        the single transport-mediated path: with a remote store transport
+        the vector is split into per-block payloads and shipped to the
+        owning shards in one round-trip per shard, never held as local
+        arrays.
+        """
         arr = np.asarray(vector).reshape(-1)
         if arr.shape[0] != self.dim:
             raise ValueError(

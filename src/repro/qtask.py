@@ -55,6 +55,7 @@ class QTask:
         block_directory: bool = True,
         observable_cache: bool = True,
         kernel_backend: Optional[str] = None,
+        store_transport: Optional[object] = None,
         seed: Optional[int] = None,
         tracing: Optional[bool] = None,
     ) -> None:
@@ -70,6 +71,7 @@ class QTask:
             block_directory=block_directory,
             observable_cache=observable_cache,
             kernel_backend=kernel_backend,
+            store_transport=store_transport,
             seed=seed,
             tracing=tracing,
         )
@@ -83,6 +85,7 @@ class QTask:
         *,
         executor: Optional[Executor] = None,
         kernel_backend: Optional[str] = None,
+        store_transport: Optional[object] = None,
     ) -> "QTask":
         """A cheap child session sharing this session's state copy-on-write.
 
@@ -109,7 +112,9 @@ class QTask:
         """
         child = QTask.__new__(QTask)
         child.simulator = self.simulator.fork(
-            executor=executor, kernel_backend=kernel_backend
+            executor=executor,
+            kernel_backend=kernel_backend,
+            store_transport=store_transport,
         )
         child.circuit = child.simulator.circuit
         child._fork_gate_map = child.simulator.forked_gate_map
@@ -161,6 +166,7 @@ class QTask:
         executor: Optional[Executor] = None,
         num_workers: Optional[int] = None,
         kernel_backend: Optional[str] = None,
+        store_transport: Optional[object] = None,
     ) -> "QTask":
         """Resume a session from a :meth:`checkpoint` file, without re-simulating.
 
@@ -181,6 +187,7 @@ class QTask:
             executor=executor,
             num_workers=num_workers,
             kernel_backend=kernel_backend,
+            store_transport=store_transport,
         )
         session.circuit = session.simulator.circuit
         session._fork_gate_map = None

@@ -152,8 +152,9 @@ class TestManifest:
         # overhead within one process on one host, so unlike cross-host
         # wall-clock comparisons it is robust to runner noise, and the plan
         # pipeline's whole reason to exist is that threshold.  telemetry
-        # gates on an overhead *ceiling* (same one-host robustness), so it
-        # has no --min-speedup knob at all.
+        # gates on an overhead *ceiling* (same one-host robustness) and
+        # shard_scale on the exactness of the per-shard memory split, so
+        # neither has a --min-speedup knob at all.
         armed = {"plan_batch": "1.5"}
         for entry in manifest["benchmarks"]:
             assert os.path.exists(os.path.join(REPO_ROOT, entry["script"]))
@@ -161,6 +162,8 @@ class TestManifest:
             if entry["name"] == "telemetry":
                 assert "--max-overhead" in args
                 assert args[args.index("--max-overhead") + 1] == "0.02"
+            elif entry["name"] == "shard_scale":
+                assert "--shards" in args
             else:
                 # min-speedup 0 makes the benchmark's `passed` accuracy-only
                 assert "--min-speedup" in args

@@ -373,7 +373,11 @@ def test_sigkilled_worker_is_respawned_and_update_completes():
     backend = ProcessPoolBackend(
         num_workers=2, min_ship_amps=0, ship_timeout=2.0, retry_backoff=0.01
     )
-    sim = _build_sim(6, levels, kernel_backend=backend, block_size=4)
+    # pin the local store transport: remote-backed stores deliberately skip
+    # SharedMemory shipping, which is the very path under test here
+    sim = _build_sim(
+        6, levels, kernel_backend=backend, block_size=4, store_transport="local"
+    )
     faults.install(FaultPlan(script=[("pool.worker.kill", 1)]))
     try:
         sim.update_state()
@@ -397,7 +401,9 @@ def test_no_shared_memory_leaks_under_ship_faults():
     rng = random.Random(18)
     levels = random_levels(rng, 6, 4)
     backend = ProcessPoolBackend(num_workers=2, min_ship_amps=0, retry_backoff=0.01)
-    sim = _build_sim(6, levels, kernel_backend=backend, block_size=4)
+    sim = _build_sim(
+        6, levels, kernel_backend=backend, block_size=4, store_transport="local"
+    )
     faults.install(
         FaultPlan(
             seed=2,

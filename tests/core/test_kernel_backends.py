@@ -147,7 +147,11 @@ needs_fork = pytest.mark.skipif(
 @needs_fork
 class TestProcessPoolBackend:
     def test_forced_shipping_matches_legacy(self):
-        sim = _simulator(_mixed_levels(), kernel_backend="legacy")
+        # local store transport: remote-backed stores deliberately bypass
+        # SharedMemory shipping, and shipping is what this test forces
+        sim = _simulator(
+            _mixed_levels(), kernel_backend="legacy", store_transport="local"
+        )
         sim._backend = ProcessPoolBackend(num_workers=2, min_ship_amps=0)
         sim.update_state()
         assert sim._backend.shipped_runs > 0

@@ -93,9 +93,11 @@ def test_pool_worker_spans_carry_worker_pids():
         backend = ProcessPoolBackend(num_workers=2, min_ship_amps=1)
     except BackendUnavailable as exc:
         pytest.skip(f"process backend unavailable: {exc}")
+    # local store transport: remote-backed stores deliberately bypass
+    # SharedMemory shipping, and pool.ship spans only exist on that path
     ckt, sim = build_cascade(
         8, 24, block_size=16, num_workers=1,
-        kernel_backend=backend, tracing=True,
+        kernel_backend=backend, tracing=True, store_transport="local",
     )
     try:
         sim.update_state()

@@ -37,6 +37,11 @@ GOLDEN_KEYS = {
     "run_retries",
     "runs_batched",
     "runs_per_plan",
+    "store_bytes_shipped",
+    "store_remote_reads",
+    "store_shard_restarts",
+    "store_transitions",
+    "store_transport",
     "task_retries",
     "update_retries",
     "updates_planned",
@@ -77,9 +82,11 @@ def test_statistics_values_reflect_the_registry_counters(session):
     for key in (
         "plans_built", "runs_batched", "plan_chunks", "updates_planned",
         "run_retries", "update_retries", "backend_fallbacks", "task_retries",
-        "num_updates",
+        "num_updates", "store_remote_reads", "store_bytes_shipped",
+        "store_shard_restarts", "store_transitions",
     ):
         assert isinstance(stats[key], int), key
+    assert stats["store_transport"] in ("local", "sharded")
 
 
 def test_statistics_keys_stable_across_updates(session):
