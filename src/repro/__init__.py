@@ -32,12 +32,32 @@ from .core.simulator import QTaskSimulator, UpdateReport
 from .observables import PauliString, PauliSum
 from .parallel import SweepResult, SweepRunner
 from .qtask import QTask
+from .service import (
+    Backend,
+    BackendConfiguration,
+    BackpressureError,
+    Job,
+    JobResult,
+    JobStatus,
+    QueueFullError,
+    ServiceError,
+    SessionPool,
+)
 from .telemetry import EventLog, MetricsRegistry, Telemetry, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "QTask",
+    "Backend",
+    "BackendConfiguration",
+    "Job",
+    "JobResult",
+    "JobStatus",
+    "SessionPool",
+    "ServiceError",
+    "QueueFullError",
+    "BackpressureError",
     "ClassicalRegister",
     "OutcomeRecord",
     "SweepRunner",

@@ -143,6 +143,15 @@ class Executor(ABC):
     def map(self, fn: Callable[[object], object], items: Sequence[object]) -> List[object]:
         """Apply ``fn`` to every item (possibly in parallel), keeping order."""
 
+    def load(self) -> int:
+        """Tasks currently queued on this executor (0 when untracked).
+
+        A point-in-time congestion signal: the service layer exposes it as
+        the ``service.executor_load`` gauge so operators can tell "queue is
+        deep because jobs are big" from "the shared pool is saturated".
+        """
+        return 0
+
     def close(self) -> None:  # pragma: no cover - optional
         """Release executor resources (no-op by default)."""
 
@@ -424,6 +433,9 @@ class WorkStealingExecutor(Executor):
             else:
                 idle_wait = self._spin_sleep
                 self._execute(work, worker_id)
+
+    def load(self) -> int:
+        return self._scheduler.outstanding()
 
     def map(self, fn, items):
         items = list(items)

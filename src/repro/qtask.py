@@ -80,6 +80,39 @@ class QTask:
 
     # -- lifecycle ----------------------------------------------------------
 
+    @classmethod
+    def from_program(cls, program, **knobs) -> "QTask":
+        """A session pre-loaded with a parsed OpenQASM program.
+
+        ``program`` is a :class:`~repro.qasm.ParsedProgram`; it is levelized
+        QASMBench-style (one net per structural level, dynamic operations
+        serialised per classical bit) and loaded into a fresh session.
+        ``knobs`` are the :class:`QTask` constructor keywords (``executor``,
+        ``kernel_backend``, ``seed``, ...).  Call ``update_state()`` to
+        simulate.
+        """
+        from .qasm.levelize import program_to_circuit
+
+        session = cls.__new__(cls)
+        session.circuit = program_to_circuit(program)
+        session.simulator = QTaskSimulator(session.circuit, **knobs)
+        session._fork_gate_map = None
+        return session
+
+    @classmethod
+    def from_qasm(cls, text: str, **knobs) -> "QTask":
+        """A session pre-loaded from OpenQASM 2.0 source text.
+
+        Convenience over :func:`repro.qasm.parse_qasm` +
+        :meth:`from_program`::
+
+            ckt = QTask.from_qasm(open("bv_n14.qasm").read())
+            ckt.update_state()
+        """
+        from .qasm import parse_qasm
+
+        return cls.from_program(parse_qasm(text), **knobs)
+
     def fork(
         self,
         *,

@@ -83,6 +83,19 @@ class EventLog:
             out = [e for e in out if e.kind == kind]
         return out
 
+    def counts_by_kind(self) -> Dict[str, int]:
+        """``{kind: occurrences}`` over the retained window (insertion order).
+
+        Dropped events are not counted -- this is a health signal over the
+        recent window, not a lifetime total (the service layer's session
+        pool uses it to rank warm sessions by instability).
+        """
+        out: Dict[str, int] = {}
+        with self._lock:
+            for event in self._events:
+                out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
     def clear(self) -> None:
         with self._lock:
             self._events.clear()

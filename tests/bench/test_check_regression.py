@@ -153,8 +153,10 @@ class TestManifest:
         # wall-clock comparisons it is robust to runner noise, and the plan
         # pipeline's whole reason to exist is that threshold.  telemetry
         # gates on an overhead *ceiling* (same one-host robustness) and
-        # shard_scale on the exactness of the per-shard memory split, so
-        # neither has a --min-speedup knob at all.
+        # shard_scale on the exactness of the per-shard memory split, and
+        # service on exact counts parity (counts_mismatch_fraction == 0)
+        # with latency/throughput purely informational, so none of those
+        # has a --min-speedup knob at all.
         armed = {"plan_batch": "1.5"}
         for entry in manifest["benchmarks"]:
             assert os.path.exists(os.path.join(REPO_ROOT, entry["script"]))
@@ -164,6 +166,9 @@ class TestManifest:
                 assert args[args.index("--max-overhead") + 1] == "0.02"
             elif entry["name"] == "shard_scale":
                 assert "--shards" in args
+            elif entry["name"] == "service":
+                assert "--jobs" in args
+                assert "counts_mismatch_fraction" in entry["accuracy_metrics"]
             else:
                 # min-speedup 0 makes the benchmark's `passed` accuracy-only
                 assert "--min-speedup" in args

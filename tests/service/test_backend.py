@@ -1,0 +1,317 @@
+"""Backend facade: validation, admission control, parity, telemetry wiring."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import QTask
+from repro.service import (
+    Backend,
+    BackendClosedError,
+    BackendConfiguration,
+    BackpressureError,
+    CircuitValidationError,
+    QueueFullError,
+    memory_qubit_cap,
+)
+
+BELL = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n'
+GHZ = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+DYNAMIC = (
+    "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\n"
+    "measure q[0] -> c[0];\nif (c==1) x q[1];\nmeasure q[1] -> c[1];\n"
+)
+
+
+def _wait_until(predicate, timeout=15.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError("condition not met in time")
+
+
+# -- configuration ----------------------------------------------------------
+
+def test_default_configuration_is_memory_derived():
+    cfg = BackendConfiguration()
+    assert cfg.n_qubits == memory_qubit_cap()
+    assert cfg.n_qubits >= 1
+    assert "h" in cfg.basis_gates and "cx" in cfg.basis_gates
+    assert cfg.simulator and cfg.local
+
+
+def test_memory_qubit_cap_scales_with_memory():
+    # 16 GiB at 0.5 headroom -> 8 GiB for amplitudes -> 2^29 amplitudes
+    assert memory_qubit_cap(16 << 30) == 29
+    assert memory_qubit_cap(32 << 30) == 30
+    assert memory_qubit_cap(1) == 1  # never below one qubit
+
+
+def test_unknown_configuration_key_rejected():
+    with pytest.raises(ValueError, match="unknown configuration key"):
+        Backend({"max_qubits": 5})
+
+
+def test_configuration_dict_roundtrip():
+    cfg = BackendConfiguration.coerce({"max_shots": 128, "n_qubits": 10})
+    assert cfg.max_shots == 128
+    assert BackendConfiguration.coerce(cfg) is cfg
+    assert BackendConfiguration.from_dict(cfg.as_dict()) == cfg
+
+
+# -- validation -------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def backend():
+    be = Backend(
+        {"max_concurrent_jobs": 2, "n_qubits": 10, "max_shots": 4096},
+        num_workers=2,
+    )
+    yield be
+    be.close()
+
+
+def test_too_many_qubits_rejected(backend):
+    big = "OPENQASM 2.0;\nqreg q[11];\nh q[0];\n"
+    with pytest.raises(CircuitValidationError, match="n_qubits"):
+        backend.run(big, shots=1)
+
+
+def test_shots_beyond_max_rejected(backend):
+    with pytest.raises(CircuitValidationError, match="max_shots"):
+        backend.run(BELL, shots=5000)
+
+
+def test_gate_outside_basis_rejected():
+    be = Backend({"basis_gates": ("h",), "max_concurrent_jobs": 1})
+    try:
+        with pytest.raises(CircuitValidationError, match="basis"):
+            be.run(BELL, shots=1)
+    finally:
+        be.close()
+
+
+def test_unparsable_qasm_rejected(backend):
+    with pytest.raises(CircuitValidationError, match="unparsable"):
+        backend.run("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n", shots=1)
+
+
+def test_builder_without_num_qubits_rejected(backend):
+    with pytest.raises(CircuitValidationError, match="num_qubits"):
+        backend.run(lambda s: None, shots=1)
+
+
+def test_closed_backend_rejects():
+    be = Backend({"max_concurrent_jobs": 1})
+    be.close()
+    with pytest.raises(BackendClosedError):
+        be.run(BELL, shots=1)
+
+
+# -- results ----------------------------------------------------------------
+
+def test_observable_and_state(backend):
+    job = backend.run(BELL, observable="ZZ", return_state=True)
+    result = job.result(timeout=60)
+    assert result.expectation == pytest.approx(1.0)
+    expect = np.zeros(4, dtype=complex)
+    expect[0] = expect[3] = 1 / np.sqrt(2)
+    np.testing.assert_allclose(result.statevector, expect, atol=1e-12)
+    assert result.counts is None  # shots=0
+
+
+def test_warm_pool_hit_visible_in_result_and_prometheus(backend):
+    first = backend.run(GHZ, shots=16, seed=0).result(timeout=60)
+    second = backend.run(GHZ, shots=16, seed=0).result(timeout=60)
+    assert second.key == first.key
+    assert second.pool_hit is True
+    text = backend.prometheus_text()
+    assert "qtask_service_pool_hits" in text
+    assert "qtask_service_jobs_completed" in text
+
+
+# -- concurrency parity (the acceptance criterion) --------------------------
+
+def test_concurrent_jobs_match_sequential_bit_identical():
+    """>= 8 concurrent jobs across >= 2 circuit families == sequential runs."""
+    requests = []
+    for i in range(10):
+        src = [BELL, GHZ, DYNAMIC][i % 3]
+        requests.append((src, 64 + i, 1000 + i))
+
+    # sequential ground truth, fresh session per request
+    expected = []
+    for src, shots, seed in requests:
+        session = QTask.from_qasm(src)
+        session.update_state()
+        if session.circuit.num_clbits > 0:
+            expected.append(session.run_shots(shots, seed=seed))
+        else:
+            expected.append(session.counts(shots, seed=seed))
+        session.close()
+
+    be = Backend({"max_concurrent_jobs": 4}, num_workers=4)
+    try:
+        jobs = [None] * len(requests)
+        errors = []
+
+        def submit(i, src, shots, seed):
+            try:
+                jobs[i] = be.run(src, shots=shots, seed=seed, tenant=f"t{i % 2}")
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(i, *req))
+            for i, req in enumerate(requests)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        for job, want in zip(jobs, expected):
+            assert job.result(timeout=120).counts == want
+        # warm-pool hits happened (3 families, 10 jobs)
+        text = be.prometheus_text()
+        hits = [l for l in text.splitlines()
+                if l.startswith("qtask_service_pool_hits{")]
+        assert hits and float(hits[0].rsplit(" ", 1)[1]) >= 7
+    finally:
+        be.close()
+
+
+# -- admission control ------------------------------------------------------
+
+def test_queue_full_rejection_typed_and_counted():
+    release = threading.Event()
+
+    def blocker(session):
+        net = session.insert_net()
+        session.insert_gate("h", net, 0)
+        release.wait(15)
+
+    be = Backend({"max_concurrent_jobs": 1, "max_queued_jobs": 2}, num_workers=1)
+    accepted = []
+    try:
+        head = be.run(blocker, num_qubits=1, shots=2, key="b-head")
+        accepted.append(head)
+        _wait_until(lambda: head.running())
+        with pytest.raises(QueueFullError) as info:
+            for i in range(6):
+                accepted.append(
+                    be.run(blocker, num_qubits=1, shots=2, key=f"b{i}")
+                )
+        assert info.value.limit == 2
+        assert info.value.queue_depth == 2
+        release.set()
+        for job in accepted:
+            job.result(timeout=60)
+        assert be.status()["jobs"]["rejected"] >= 1
+    finally:
+        release.set()
+        be.close()
+
+
+def test_p95_backpressure_shedding():
+    release = threading.Event()
+
+    def blocker(session):
+        net = session.insert_net()
+        session.insert_gate("h", net, 0)
+        release.wait(15)
+
+    be = Backend(
+        {
+            "max_concurrent_jobs": 1,
+            "max_queued_jobs": 8,
+            # any observed update latency exceeds this threshold
+            "p95_reject_seconds": 1e-12,
+        },
+        num_workers=1,
+    )
+    try:
+        # one completed job seeds the update.seconds rollup (build latency)
+        be.run(BELL, shots=2, seed=0).result(timeout=60)
+        # fill to the soft threshold (max_queued_jobs // 2 = 4)
+        head = be.run(blocker, num_qubits=1, shots=2, key="head")
+        _wait_until(lambda: head.running())
+        queued = [be.run(BELL, shots=2) for _ in range(4)]
+        with pytest.raises(BackpressureError) as info:
+            be.run(BELL, shots=2)
+        assert info.value.reason == "p95"
+        assert info.value.p95_seconds > 0
+        release.set()
+        head.result(timeout=60)
+        for job in queued:
+            job.result(timeout=60)
+    finally:
+        release.set()
+        be.close()
+
+
+def test_degraded_backpressure_and_recovery():
+    be = Backend(
+        {"max_concurrent_jobs": 1, "max_queued_jobs": 4, "degraded_grace_jobs": 2},
+        num_workers=1,
+    )
+    try:
+        # a job whose session records a recovery event marks the backend degraded
+        def troubled(session):
+            net = session.insert_net()
+            session.insert_gate("h", net, 0)
+            session.telemetry.events.emit("update.retry", attempt=1)
+
+        be.run(troubled, num_qubits=1, shots=2, key="troubled").result(timeout=60)
+        assert be.status()["degraded"] is True
+        # two clean jobs (degraded_grace_jobs) clear the flag
+        be.run(BELL, shots=2).result(timeout=60)
+        be.run(BELL, shots=2).result(timeout=60)
+        assert be.status()["degraded"] is False
+    finally:
+        be.close()
+
+
+# -- telemetry wiring -------------------------------------------------------
+
+def test_tenant_rollups_accumulate_per_tenant():
+    be = Backend({"max_concurrent_jobs": 2}, num_workers=2)
+    try:
+        for _ in range(2):
+            be.run(BELL, shots=8, seed=1, tenant="alice").result(timeout=60)
+        be.run(GHZ, shots=8, seed=1, tenant="bob").result(timeout=60)
+        assert be.tenants() == ["alice", "bob"]
+        alice = be.tenant_metrics("alice").as_dict()
+        bob = be.tenant_metrics("bob").as_dict()
+        # alice's first job built the BELL base: its warming update's
+        # latency landed in her rollup; bob's GHZ build likewise in his
+        assert alice["histograms"]["update.seconds"]["count"] >= 1
+        assert bob["histograms"]["update.seconds"]["count"] >= 1
+        assert "plan.updates_planned" in alice["counters"]
+    finally:
+        be.close()
+
+
+def test_job_run_span_recorded_when_tracing():
+    be = Backend({"max_concurrent_jobs": 1}, num_workers=1, tracing=True)
+    try:
+        be.run(BELL, shots=4, seed=0, tenant="traced").result(timeout=60)
+        spans = [s for s in be.telemetry.tracer.spans() if s.name == "job.run"]
+        assert len(spans) == 1
+        assert spans[0].attrs["tenant"] == "traced"
+    finally:
+        be.close()
+
+
+def test_status_snapshot_shape(backend):
+    status = backend.status()
+    assert status["backend_name"] == "qtask_statevector"
+    assert set(status["jobs"]) == {
+        "submitted", "completed", "failed", "rejected", "cancelled",
+    }
+    assert "pool" in status and "queue_depth" in status

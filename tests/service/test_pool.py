@@ -1,0 +1,191 @@
+"""SessionPool: warm-hit accounting, budgets, eviction, lease pinning."""
+
+import threading
+
+import pytest
+
+from repro.qtask import QTask
+from repro.service import SessionPool
+from repro.telemetry import MetricsRegistry
+
+
+def make_factory(num_qubits=2, calls=None):
+    def factory():
+        if calls is not None:
+            calls.append(1)
+        session = QTask(num_qubits)
+        net = session.insert_net()
+        for q in range(num_qubits):
+            session.insert_gate("h", net, q)
+        return session
+    return factory
+
+
+def test_first_lease_is_miss_then_hits():
+    registry = MetricsRegistry()
+    pool = SessionPool(registry=registry)
+    calls = []
+    try:
+        fork, hit = pool.lease("a", make_factory(calls=calls))
+        assert hit is False
+        fork.close()
+        pool.release("a")
+        fork2, hit2 = pool.lease("a", make_factory(calls=calls))
+        assert hit2 is True
+        fork2.close()
+        pool.release("a")
+        assert len(calls) == 1  # base built exactly once
+        assert registry.get("service.pool_hits").value == 1
+        assert registry.get("service.pool_misses").value == 1
+    finally:
+        pool.close()
+
+
+def test_forks_are_isolated_from_base():
+    pool = SessionPool()
+    try:
+        fork, _ = pool.lease("a", make_factory(num_qubits=1))
+        # editing the fork must not perturb the warm base
+        net = fork.insert_net()
+        fork.insert_gate("x", net, 0)
+        fork.update_state()
+        fork.close()
+        pool.release("a")
+        fork2, hit = pool.lease("a", make_factory(num_qubits=1))
+        assert hit is True
+        assert fork2.num_gates == 1  # just the base's h, not the x
+        fork2.close()
+        pool.release("a")
+    finally:
+        pool.close()
+
+
+def test_max_sessions_evicts_lru():
+    pool = SessionPool(max_sessions=2)
+    try:
+        for key in ("a", "b", "c"):
+            fork, _ = pool.lease(key, make_factory())
+            fork.close()
+            pool.release(key)
+        assert len(pool) == 2
+        assert "a" not in pool.keys()  # oldest evicted
+        assert set(pool.keys()) == {"b", "c"}
+    finally:
+        pool.close()
+
+
+def test_memory_budget_evicts_idle_sessions():
+    registry = MetricsRegistry()
+    pool = SessionPool(memory_budget_bytes=1, registry=registry)
+    try:
+        forka, _ = pool.lease("a", make_factory())
+        forka.close()
+        pool.release("a")
+        forkb, _ = pool.lease("b", make_factory())
+        forkb.close()
+        pool.release("b")
+        # every base owns > 1 byte, so only the most recent may survive
+        assert pool.keys() == ["b"] or pool.keys() == []
+        assert registry.get("service.pool_evictions").value >= 1
+    finally:
+        pool.close()
+
+
+def test_leased_sessions_are_never_evicted():
+    pool = SessionPool(max_sessions=1)
+    try:
+        forka, _ = pool.lease("a", make_factory())
+        forkb, _ = pool.lease("b", make_factory())  # over budget, but a is leased
+        assert set(pool.keys()) == {"a", "b"}
+        forka.close()
+        pool.release("a")  # now a is idle and the budget applies
+        assert pool.keys() == ["b"]
+        forkb.close()
+        pool.release("b")
+    finally:
+        pool.close()
+
+
+def test_unstable_sessions_evicted_first():
+    pool = SessionPool(max_sessions=2)
+    try:
+        forka, _ = pool.lease("a", make_factory())
+        forka.close()
+        pool.release("a")
+        forkb, _ = pool.lease("b", make_factory())
+        forkb.close()
+        pool.release("b")
+        # mark "b" (the *most recent*) unstable: recovery events on its base
+        entry_b = pool._entries["b"]
+        entry_b.session.telemetry.events.emit("update.retry", attempt=1)
+        entry_b.session.telemetry.events.emit("breaker.transition", to="open")
+        forkc, _ = pool.lease("c", make_factory())
+        forkc.close()
+        pool.release("c")
+        # instability outranks recency: b evicted even though a is older
+        assert "b" not in pool.keys()
+        assert "a" in pool.keys()
+    finally:
+        pool.close()
+
+
+def test_concurrent_leases_build_base_once():
+    calls = []
+    lock = threading.Lock()
+
+    def factory():
+        with lock:
+            calls.append(1)
+        session = QTask(2)
+        net = session.insert_net()
+        session.insert_gate("h", net, 0)
+        return session
+
+    pool = SessionPool()
+    results = []
+    errors = []
+
+    def worker():
+        try:
+            fork, hit = pool.lease("shared", factory)
+            results.append(hit)
+            fork.close()
+            pool.release("shared")
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    try:
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(calls) == 1  # exactly one thread built the base
+        assert results.count(False) == 1 and results.count(True) == 7
+    finally:
+        pool.close()
+
+
+def test_stats_snapshot_shape():
+    pool = SessionPool(max_sessions=4, memory_budget_bytes=None)
+    try:
+        fork, _ = pool.lease("a", make_factory())
+        stats = pool.stats()
+        assert stats["sessions"] == 1
+        assert stats["max_sessions"] == 4
+        (entry,) = stats["entries"]
+        assert entry["key"] == "a"
+        assert entry["leases"] == 1
+        assert entry["owned_bytes"] > 0
+        fork.close()
+        pool.release("a")
+    finally:
+        pool.close()
+
+
+def test_lease_after_close_raises():
+    pool = SessionPool()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.lease("a", make_factory())

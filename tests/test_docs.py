@@ -1,0 +1,45 @@
+"""Tier-1 mirror of the CI docs job (``tools/check_docs.py``).
+
+The docs are part of the contract: intra-repo links must resolve and the
+service guide's code blocks must actually run.  Running the same checks
+here means a doc-breaking refactor fails on a laptop, not first on CI.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+DOCUMENTS = sorted((REPO_ROOT / "docs").rglob("*.md")) + [REPO_ROOT / "README.md"]
+EXECUTED = {REPO_ROOT / rel for rel in check_docs.EXECUTED_DOCS}
+
+
+def test_docs_tree_exists():
+    names = {p.name for p in DOCUMENTS}
+    assert {"architecture.md", "service.md", "operations.md"} <= names
+
+
+@pytest.mark.parametrize(
+    "md_path", DOCUMENTS, ids=[str(p.relative_to(REPO_ROOT)) for p in DOCUMENTS]
+)
+def test_intra_repo_links_resolve(md_path):
+    assert check_docs.check_links(md_path) == []
+
+
+@pytest.mark.parametrize(
+    "md_path", DOCUMENTS, ids=[str(p.relative_to(REPO_ROOT)) for p in DOCUMENTS]
+)
+def test_python_blocks_compile(md_path):
+    assert check_docs.check_blocks(md_path, execute=False) == []
+
+
+@pytest.mark.parametrize(
+    "md_path", sorted(EXECUTED), ids=[p.name for p in sorted(EXECUTED)]
+)
+def test_service_guide_blocks_execute(md_path):
+    assert check_docs.check_blocks(md_path, execute=True) == []

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Docs verifier: intra-repo links + executable code blocks.
+
+Two checks, both hard failures (this runs as a blocking CI job and inside
+tier-1 via ``tests/test_docs.py``):
+
+1. **Links.** Every relative markdown link in ``docs/**/*.md`` and
+   ``README.md`` must point at a file or directory that exists in the
+   repo (``#fragment`` suffixes are stripped; ``http(s)``/``mailto``
+   targets are skipped).  Docs that point at moved or deleted files are
+   worse than no docs.
+
+2. **Code blocks.** Every fenced ``python`` block in ``docs/service.md``
+   is executed in its own interpreter (``PYTHONPATH=src``) and must exit
+   0 -- the service guide's examples are a contract, not an illustration.
+   ``python`` blocks in the *other* docs are syntax-checked with
+   ``compile()`` so a typo still fails fast without the cost (or side
+   effects) of running fragments that are illustrative by design.
+
+Run from the repo root::
+
+    python tools/check_docs.py [--skip-exec]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: documents whose python blocks are executed, not just compiled
+EXECUTED_DOCS = ("docs/service.md",)
+
+#: inline markdown links: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: fenced code blocks: ```lang\n...\n```
+_FENCE_RE = re.compile(r"^```([A-Za-z0-9_+-]*)[ \t]*$")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fences(text):
+    """Remove fenced code blocks so links inside code are not checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(md_path):
+    """Return a list of broken-link error strings for one markdown file."""
+    errors = []
+    text = _strip_fences(md_path.read_text(encoding="utf-8"))
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            errors.append(f"{md_path.relative_to(REPO_ROOT)}: link escapes "
+                          f"the repo: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{md_path.relative_to(REPO_ROOT)}: broken link "
+                          f"{target} -> {resolved.relative_to(REPO_ROOT)}")
+    return errors
+
+
+def python_blocks(md_path):
+    """Yield (start_line, source) for every fenced python block."""
+    lines = md_path.read_text(encoding="utf-8").splitlines()
+    block, lang, start, indent = None, None, 0, ""
+    for lineno, line in enumerate(lines, 1):
+        match = _FENCE_RE.match(line.strip())
+        if match and block is None:
+            lang, block, start = match.group(1).lower(), [], lineno + 1
+            # blocks may be indented as a whole (e.g. under a list item);
+            # strip exactly the fence's indentation from every line
+            indent = line[: len(line) - len(line.lstrip())]
+        elif match is not None and block is not None:
+            if lang == "python":
+                yield start, "\n".join(block) + "\n"
+            block, lang = None, None
+        elif block is not None:
+            if indent and line.startswith(indent):
+                line = line[len(indent):]
+            block.append(line)
+
+
+def check_blocks(md_path, *, execute):
+    """Compile (and optionally run) every python block of one document."""
+    errors = []
+    rel = md_path.relative_to(REPO_ROOT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for start, source in python_blocks(md_path):
+        label = f"{rel}:{start}"
+        try:
+            compile(source, label, "exec")
+        except SyntaxError as exc:
+            errors.append(f"{label}: syntax error in python block: {exc}")
+            continue
+        if not execute:
+            continue
+        proc = subprocess.run(
+            [sys.executable, "-c", source],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-12:]
+            errors.append(f"{label}: python block exited "
+                          f"{proc.returncode}:\n  " + "\n  ".join(tail))
+        else:
+            print(f"[check_docs] ran {label} ok")
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-exec", action="store_true",
+                        help="syntax-check only; do not run service.md blocks")
+    args = parser.parse_args(argv)
+
+    documents = sorted((REPO_ROOT / "docs").rglob("*.md"))
+    documents.append(REPO_ROOT / "README.md")
+
+    errors = []
+    for md_path in documents:
+        errors.extend(check_links(md_path))
+    executed = {REPO_ROOT / rel for rel in EXECUTED_DOCS}
+    for md_path in documents:
+        errors.extend(check_blocks(
+            md_path, execute=(not args.skip_exec and md_path in executed)
+        ))
+
+    if errors:
+        print(f"[check_docs] {len(errors)} problem(s):", file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+    print(f"[check_docs] {len(documents)} documents ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
